@@ -1,0 +1,107 @@
+// Package tack's root benchmark harness: one testing.B benchmark per table
+// and figure in the TACK paper's evaluation. Each benchmark runs the
+// corresponding experiment in quick mode and reports the headline series as
+// custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates (a scaled-down version of) the paper's entire evaluation.
+// Run `go run ./cmd/tackbench all` for the full-length tables.
+package tack
+
+import (
+	"testing"
+
+	"github.com/tacktp/tack/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// BenchmarkFig1WLANGoodput regenerates Figure 1: the headline ACK-reduction
+// and goodput-improvement preview across 802.11 standards.
+func BenchmarkFig1WLANGoodput(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3AckContention regenerates Figure 3: data/ACK throughput
+// contention under 1:1 … 16:1 acking over 802.11n.
+func BenchmarkFig3AckContention(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig5aIACKHoLB regenerates Figure 5(a): receive-buffer blocking
+// with and without loss-event IACKs.
+func BenchmarkFig5aIACKHoLB(b *testing.B) { runExperiment(b, "fig5a") }
+
+// BenchmarkFig5bRichTack regenerates Figure 5(b): utilization vs ACK-path
+// loss for TACK-rich / TACK-poor / TCP BBR.
+func BenchmarkFig5bRichTack(b *testing.B) { runExperiment(b, "fig5b") }
+
+// BenchmarkFig6aRoundTripTiming regenerates Figure 6(a): sampled vs
+// advanced RTTmin tracking.
+func BenchmarkFig6aRoundTripTiming(b *testing.B) { runExperiment(b, "fig6a") }
+
+// BenchmarkFig6bTimingImpact regenerates Figure 6(b): latency/loss impact
+// of the advanced round-trip timing.
+func BenchmarkFig6bTimingImpact(b *testing.B) { runExperiment(b, "fig6b") }
+
+// BenchmarkFig8AckFrequency regenerates Figure 8: the ACK-frequency
+// reduction analysis over the 802.11 family.
+func BenchmarkFig8AckFrequency(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9aGoodputGain regenerates Figure 9(a): goodput improvement
+// across standards and RTTs.
+func BenchmarkFig9aGoodputGain(b *testing.B) { runExperiment(b, "fig9a") }
+
+// BenchmarkFig9bIdealGoodput regenerates Figure 9(b): the ideal goodput
+// trend of ACK thinning against the UDP baseline and PHY capacity.
+func BenchmarkFig9bIdealGoodput(b *testing.B) { runExperiment(b, "fig9b") }
+
+// BenchmarkFig10aActualGoodput regenerates Figure 10(a): actual TCP-TACK vs
+// TCP BBR goodput per standard.
+func BenchmarkFig10aActualGoodput(b *testing.B) { runExperiment(b, "fig10a") }
+
+// BenchmarkFig10bAckThinning regenerates Figure 10(b): legacy TCP under ACK
+// thinning (L = 1…16) against TACK.
+func BenchmarkFig10bAckThinning(b *testing.B) { runExperiment(b, "fig10b") }
+
+// BenchmarkFig11Miracast regenerates Figure 11: the Miracast projection A/B
+// (rebuffering and macroblocking).
+func BenchmarkFig11Miracast(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig13Hybrid regenerates Figure 13: the WLAN+WAN hybrid matrix.
+func BenchmarkFig13Hybrid(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Ranking regenerates Figure 14: the Pantheon-style power-
+// metric ranking over a randomized WAN ensemble.
+func BenchmarkFig14Ranking(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Friendliness regenerates Figure 15: TCP friendliness ratios
+// on shared bottlenecks.
+func BenchmarkFig15Friendliness(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16BetaBound regenerates Figure 16 / Appendix B.1: the β lower
+// bound and buffer-requirement table.
+func BenchmarkFig16BetaBound(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17FrequencyModel regenerates Figure 17 / Appendix B.4: the
+// ACK-frequency surface and its pivot points.
+func BenchmarkFig17FrequencyModel(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkExtSplit runs the §7 TCP-splitting extension experiment.
+func BenchmarkExtSplit(b *testing.B) { runExperiment(b, "ext-split") }
+
+// BenchmarkExtReorder runs the §7 reordering / adaptive-IACK-delay
+// extension experiment.
+func BenchmarkExtReorder(b *testing.B) { runExperiment(b, "ext-reorder") }
+
+// BenchmarkExtPacing runs the §5.3 pacing-vs-burst ablation.
+func BenchmarkExtPacing(b *testing.B) { runExperiment(b, "ext-pacing") }

@@ -1,0 +1,67 @@
+// Command tackbench regenerates the TACK paper's evaluation tables and
+// figures from the simulated substrate.
+//
+// Usage:
+//
+//	tackbench list                 # list experiment ids
+//	tackbench all [-quick]         # run everything
+//	tackbench fig3 fig10a ...      # run specific experiments
+//
+// Flags:
+//
+//	-quick   reduced durations/ensembles (CI-friendly)
+//	-seed N  RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tacktp/tack/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced durations and ensembles")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	var ids []string
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		ids = experiments.IDs()
+	default:
+		ids = args
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// wan-ranking: a miniature Pantheon — every implemented transport scheme
+// races over a randomized ensemble of emulated WAN paths and is ranked per
+// scenario by Kleinrock's power metric log(throughput / OWD95), echoing the
+// paper's §6.6 horizontal evaluation.
+//
+// Run with: go run ./examples/wan-ranking [-scenarios 8] [-dur 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/tacktp/tack/internal/pantheon"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+func main() {
+	n := flag.Int("scenarios", 8, "number of randomized path scenarios")
+	dur := flag.Duration("dur", 10*time.Second, "per-run duration")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Parse()
+
+	scenarios := pantheon.SampleScenarios(*n, *seed, sim.Time(*dur))
+	schemes := pantheon.DefaultSchemes()
+	fmt.Printf("racing %d schemes over %d scenarios (%v each)...\n\n", len(schemes), *n, *dur)
+
+	rankings, raw := pantheon.Evaluate(scenarios, schemes)
+
+	fmt.Println("scenario details and winners:")
+	for i, sc := range scenarios {
+		best := raw[i][0]
+		for _, r := range raw[i] {
+			if r.Power > best.Power {
+				best = r
+			}
+		}
+		fmt.Printf("  %-28s winner: %-10s (%.1f Mbit/s, OWD95 %v)\n",
+			sc.String(), best.Scheme, best.Goodput/1e6,
+			best.OWD95.Duration().Round(time.Millisecond))
+	}
+
+	fmt.Println("\noverall ranking (mean per-scenario rank; smaller is better):")
+	for i, r := range rankings {
+		fmt.Printf("  %d. %-12s mean %.2f  median %.0f  range [%.0f, %.0f]\n",
+			i+1, r.Scheme, r.Mean, r.Ranks.Median(), r.Ranks.Min(), r.Ranks.Max())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/tacktp/tack
+
+go 1.22

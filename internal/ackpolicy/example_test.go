@@ -1,0 +1,28 @@
+package ackpolicy_test
+
+import (
+	"fmt"
+
+	"github.com/tacktp/tack/internal/ackpolicy"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// ExampleTACK shows the two regimes of the Eq. 3 discipline: at high
+// bandwidth the periodic spacing gates acknowledgments; at low bandwidth
+// the byte-counting threshold does.
+func ExampleTACK() {
+	p := ackpolicy.NewTACK(4, 2)
+	p.Update(0, 80*sim.Millisecond) // synced RTTmin: alpha = 20 ms
+
+	// High rate: the byte threshold is met long before the spacing.
+	fire := p.OnData(sim.Millisecond, 2*ackpolicy.MSS)
+	fmt.Printf("high rate, 1ms after last ack: fire=%v deadline=%v\n",
+		fire, p.Deadline(sim.Millisecond))
+
+	// Once the periodic spacing has elapsed too, the next packet fires.
+	fire = p.OnData(21*sim.Millisecond, 2*ackpolicy.MSS)
+	fmt.Printf("after alpha elapsed: fire=%v\n", fire)
+	// Output:
+	// high rate, 1ms after last ack: fire=false deadline=20ms
+	// after alpha elapsed: fire=true
+}

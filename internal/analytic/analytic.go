@@ -1,0 +1,157 @@
+// Package analytic implements the TACK paper's closed-form models: the ACK
+// frequency equations (Eq. 1–5), the rich-information threshold and ΔQ
+// (Eq. 6, Appendix A), and the Appendix B bounds (β lower bound via the
+// minimum send window, L upper bound, pivot points of the frequency
+// surface). These power the Figure 8 / Figure 17 reproductions and validate
+// the runtime implementation against theory.
+package analytic
+
+import (
+	"math"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// MSS is the full-sized packet assumption (bytes).
+const MSS = 1500
+
+// FreqByteCount returns f_b = bw/(L·MSS) in Hz (Eq. 1): the frequency of a
+// byte-counting ACK policy at data throughput bwBps.
+func FreqByteCount(bwBps float64, l int) float64 {
+	if l < 1 {
+		l = 1
+	}
+	return bwBps / 8 / float64(l*MSS)
+}
+
+// FreqPeriodic returns f = 1/α in Hz (Eq. 2).
+func FreqPeriodic(alpha sim.Time) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / alpha.Seconds()
+}
+
+// FreqTACK returns f_tack = min(bw/(L·MSS), β/RTTmin) in Hz (Eq. 3).
+func FreqTACK(bwBps float64, l, beta int, rttMin sim.Time) float64 {
+	fb := FreqByteCount(bwBps, l)
+	if rttMin <= 0 {
+		return fb
+	}
+	fp := float64(beta) / rttMin.Seconds()
+	return math.Min(fb, fp)
+}
+
+// FreqPerPacket returns f_tcp = bw/MSS in Hz (Eq. 4): legacy TCP with
+// TCP_QUICKACK.
+func FreqPerPacket(bwBps float64) float64 { return FreqByteCount(bwBps, 1) }
+
+// FreqDelayed returns the delayed-ACK frequency (Eq. 5): per-packet below
+// 2 MSS/γ of throughput, bw/(2·MSS) above it.
+func FreqDelayed(bwBps float64, gamma sim.Time) float64 {
+	if gamma <= 0 {
+		gamma = 40 * sim.Millisecond
+	}
+	pivot := 2 * float64(MSS) * 8 / gamma.Seconds()
+	if bwBps < pivot {
+		return FreqPerPacket(bwBps)
+	}
+	return FreqByteCount(bwBps, 2)
+}
+
+// PeriodicRegime reports whether a flow with the given bdp (bytes) operates
+// TACK in the periodic regime (bdp ≥ β·L·MSS) rather than byte-counting.
+func PeriodicRegime(bdpBytes float64, beta, l int) bool {
+	return bdpBytes >= float64(beta*l*MSS)
+}
+
+// RichThreshold returns the ACK-path loss rate ρ′ above which a TACK must
+// carry more than Q unacked blocks (Eq. 6/9), clamped to [0,1].
+func RichThreshold(q int, rho, bdpBytes float64, beta, l int) float64 {
+	if rho <= 0 {
+		return 1
+	}
+	var th float64
+	if PeriodicRegime(bdpBytes, beta, l) {
+		th = float64(q) * MSS / (rho * bdpBytes)
+	} else {
+		th = float64(q) / (rho * float64(l))
+	}
+	return math.Min(th, 1)
+}
+
+// DeltaQ returns the additional unacked blocks a TACK should report above
+// the rich threshold (Appendix A): ρ·ρ′·bdp/MSS − Q (large bdp) or
+// ρ·ρ′·L − Q (small bdp), floored at zero.
+func DeltaQ(q int, rho, rhoPrime, bdpBytes float64, beta, l int) float64 {
+	var need float64
+	if PeriodicRegime(bdpBytes, beta, l) {
+		need = rho * rhoPrime * bdpBytes / MSS
+	} else {
+		need = rho * rhoPrime * float64(l)
+	}
+	return math.Max(0, need-float64(q))
+}
+
+// MinSendWindow returns W_min = β/(β−1)·bdp (Appendix B.3, after [50]):
+// the smallest send window sustaining full utilization with β ACKs per
+// RTT. β must be ≥ 2 (β = 1 degenerates to stop-and-wait; see Appendix
+// B.1) or the function panics.
+func MinSendWindow(bdpBytes float64, beta int) float64 {
+	if beta < 2 {
+		panic("analytic: MinSendWindow requires beta >= 2")
+	}
+	return float64(beta) / float64(beta-1) * bdpBytes
+}
+
+// BufferRequirement returns the ideal bottleneck buffer requirement
+// W_min − bdp: one bdp at β=2, 0.33·bdp at the default β=4 (§7).
+func BufferRequirement(bdpBytes float64, beta int) float64 {
+	return MinSendWindow(bdpBytes, beta) - bdpBytes
+}
+
+// MaxL returns the upper bound on the byte-counting parameter,
+// L ≤ Q/(ρ·ρ′) (Appendix B.2, Eq. 10). Infinite (math.Inf) when either
+// loss rate is zero.
+func MaxL(q int, rho, rhoPrime float64) float64 {
+	if rho <= 0 || rhoPrime <= 0 {
+		return math.Inf(1)
+	}
+	return float64(q) / (rho * rhoPrime)
+}
+
+// PivotBandwidth returns the throughput at which TACK switches from the
+// byte-counting to the periodic regime for a given RTTmin:
+// bw = β·L·MSS/RTTmin (in bit/s). Figure 17(a)'s pivot points.
+func PivotBandwidth(beta, l int, rttMin sim.Time) float64 {
+	if rttMin <= 0 {
+		return math.Inf(1)
+	}
+	return float64(beta*l*MSS) * 8 / rttMin.Seconds()
+}
+
+// PivotRTT returns the RTTmin at which TACK switches regimes for a given
+// throughput: RTT = β·L·MSS/bw. Figure 17(b)'s pivot points.
+func PivotRTT(beta, l int, bwBps float64) sim.Time {
+	if bwBps <= 0 {
+		return sim.Time(math.MaxInt64)
+	}
+	return sim.Time(float64(beta*l*MSS) * 8 / bwBps * 1e9)
+}
+
+// ReductionVsPerPacket returns the fraction of ACKs TACK eliminates
+// relative to per-packet acking at the given operating point.
+func ReductionVsPerPacket(bwBps float64, l, beta int, rttMin sim.Time) float64 {
+	fp := FreqPerPacket(bwBps)
+	if fp <= 0 {
+		return 0
+	}
+	return 1 - FreqTACK(bwBps, l, beta, rttMin)/fp
+}
+
+// IACKLossFreqUpperBound returns the worst-case loss-event IACK frequency
+// ρ·bw/MSS in Hz (§4.4): with typical small ρ the extra return-path load is
+// negligible.
+func IACKLossFreqUpperBound(rho, bwBps float64) float64 {
+	return rho * bwBps / 8 / MSS
+}

@@ -1,0 +1,45 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"github.com/tacktp/tack/internal/analytic"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// ExampleFreqTACK reproduces the paper's headline frequency comparison: a
+// 590 Mbit/s 802.11ac flow acked per-packet, with delayed ACKs, and with
+// TACK at two latencies.
+func ExampleFreqTACK() {
+	bw := 590e6
+	fmt.Printf("per-packet: %.0f Hz\n", analytic.FreqPerPacket(bw))
+	fmt.Printf("delayed L=2: %.0f Hz\n", analytic.FreqByteCount(bw, 2))
+	fmt.Printf("TACK @10ms: %.0f Hz\n", analytic.FreqTACK(bw, 2, 4, 10*sim.Millisecond))
+	fmt.Printf("TACK @80ms: %.0f Hz\n", analytic.FreqTACK(bw, 2, 4, 80*sim.Millisecond))
+	// Output:
+	// per-packet: 49167 Hz
+	// delayed L=2: 24583 Hz
+	// TACK @10ms: 400 Hz
+	// TACK @80ms: 50 Hz
+}
+
+// ExampleBufferRequirement shows the Appendix B buffer analysis: the ideal
+// bottleneck buffer shrinks as β grows.
+func ExampleBufferRequirement() {
+	bdp := 1.0
+	for _, beta := range []int{2, 4, 8} {
+		fmt.Printf("beta=%d: %.2f bdp\n", beta, analytic.BufferRequirement(bdp, beta))
+	}
+	// Output:
+	// beta=2: 1.00 bdp
+	// beta=4: 0.33 bdp
+	// beta=8: 0.14 bdp
+}
+
+// ExampleMaxL evaluates Appendix B.2's bound on the byte-counting
+// parameter under symmetric 10% loss with a 4-block budget.
+func ExampleMaxL() {
+	fmt.Printf("L <= %.0f\n", analytic.MaxL(4, 0.1, 0.1))
+	// Output:
+	// L <= 400
+}

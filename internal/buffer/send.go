@@ -1,0 +1,419 @@
+// Package buffer implements the transport's sender retransmission buffer
+// and receiver reassembly buffer.
+//
+// The sender buffer maintains the paper's (SEQ, PKT.SEQ) two-tuple per
+// in-flight segment (§5.1): a byte range plus the packet number of its most
+// recent transmission. Retransmitting replaces the tuple's packet number
+// with the fresh one, so stale loss reports for superseded numbers are
+// ignored without extra state.
+//
+// The receiver buffer reassembles the bytestream and accounts the bytes
+// blocked behind the first hole (head-of-line blocking), which Figure 5(a)
+// of the paper measures.
+package buffer
+
+import (
+	"sort"
+
+	"github.com/tacktp/tack/internal/seqspace"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Segment is one in-flight unit of the bytestream at the sender.
+type Segment struct {
+	Seq    uint64 // byte offset
+	Len    int    // payload length
+	PktSeq uint64 // packet number of the most recent transmission
+	FIN    bool   // segment carries the end-of-stream marker
+
+	SentAt      sim.Time // departure time of the most recent transmission
+	Retransmits int      // how many times this byte range was re-sent
+	LossMarked  bool     // a loss report for the current PktSeq is pending service
+	lastRetx    sim.Time // last retransmission time (for the once-per-RTT rule)
+	hasRetx     bool
+	released    bool // removed from the buffer (acknowledged)
+	// deliveredAtSend snapshots the buffer's released-bytes counter at the
+	// segment's (re)transmission, anchoring BBR-style delivery-rate
+	// samples: rate = (released_now − deliveredAtSend) / (now − SentAt).
+	deliveredAtSend int64
+}
+
+// End returns the byte offset one past the segment.
+func (s *Segment) End() uint64 { return s.Seq + uint64(s.Len) }
+
+// SendBuffer tracks unacknowledged segments, indexed both by byte sequence
+// and by the packet number of their latest transmission.
+type SendBuffer struct {
+	bySeq map[uint64]*Segment // keyed by Seq
+	byPkt map[uint64]*Segment // keyed by current PktSeq
+	// order holds Seq values in insertion (stream) order; entries released
+	// out of order (selective acks) go stale and are skipped on iteration.
+	// head indexes the first potentially-live entry, advancing as the
+	// cumulative ack moves, so per-ack processing is amortized O(released).
+	order []uint64
+	head  int
+	bytes int // unacked payload bytes
+
+	// oldestFloor is a monotone lower bound for OldestPktSeq: packet
+	// numbers are never reused, so the scan resumes where it left off.
+	oldestFloor uint64
+
+	// releasedBytes counts payload bytes ever acknowledged (cumulatively or
+	// selectively) — the sender-side delivered-data counter BBR-style rate
+	// sampling needs (cumack jumps after hole repairs must not look like
+	// delivery-rate spikes).
+	releasedBytes int64
+
+	// Delivery-rate sample anchor: the most recently *sent* segment
+	// released in the current acknowledgment batch.
+	rateValid           bool
+	rateSentAt          sim.Time
+	rateDeliveredAtSend int64
+
+	// marked tracks loss-marked segments in ascending Seq order so hot
+	// paths never scan or sort the whole buffer. Entries go stale when a
+	// segment is retransmitted (mark cleared) or released; markedLive
+	// counts the rest and compaction runs only when stale entries dominate.
+	marked     []*Segment
+	markedLive int
+}
+
+// NewSendBuffer returns an empty send buffer.
+func NewSendBuffer() *SendBuffer {
+	return &SendBuffer{
+		bySeq: make(map[uint64]*Segment),
+		byPkt: make(map[uint64]*Segment),
+	}
+}
+
+// Insert registers a freshly transmitted segment.
+func (b *SendBuffer) Insert(seg *Segment) {
+	if _, dup := b.bySeq[seg.Seq]; dup {
+		panic("buffer: duplicate segment insert")
+	}
+	seg.deliveredAtSend = b.releasedBytes
+	b.bySeq[seg.Seq] = seg
+	b.byPkt[seg.PktSeq] = seg
+	b.order = append(b.order, seg.Seq)
+	b.bytes += seg.Len
+}
+
+// Retransmitted updates a segment's packet number after it was re-sent:
+// the old PKT.SEQ mapping is dropped (paper §5.1: "the PKT.SEQ ... be
+// always replaced and updated by the latest PKT.SEQ").
+func (b *SendBuffer) Retransmitted(seg *Segment, newPktSeq uint64, now sim.Time) {
+	delete(b.byPkt, seg.PktSeq)
+	seg.PktSeq = newPktSeq
+	seg.SentAt = now
+	seg.Retransmits++
+	if seg.LossMarked {
+		seg.LossMarked = false
+		b.markedLive--
+	}
+	seg.lastRetx = now
+	seg.hasRetx = true
+	seg.deliveredAtSend = b.releasedBytes
+	b.byPkt[newPktSeq] = seg
+}
+
+// MayRetransmit reports whether the once-per-RTT retransmission rule allows
+// re-sending the segment at time now (paper §5.1: "the sender only
+// retransmits a specific packet once per RTT").
+func (b *SendBuffer) MayRetransmit(seg *Segment, now sim.Time, rtt sim.Time) bool {
+	return !seg.hasRetx || now-seg.lastRetx >= rtt
+}
+
+// ByPktSeq returns the segment whose most recent transmission used pktSeq,
+// or nil (e.g. the report refers to a superseded transmission).
+func (b *SendBuffer) ByPktSeq(pktSeq uint64) *Segment { return b.byPkt[pktSeq] }
+
+// BySeq returns the segment starting at byte offset seq, or nil.
+func (b *SendBuffer) BySeq(seq uint64) *Segment { return b.bySeq[seq] }
+
+// AckBytes removes every segment fully below cumAck (cumulative byte
+// acknowledgment) and returns the number of segments released. Because
+// order ascends in Seq, the release is a prefix: amortized O(released).
+func (b *SendBuffer) AckBytes(cumAck uint64) int {
+	released := 0
+	for b.head < len(b.order) {
+		seq := b.order[b.head]
+		seg, ok := b.bySeq[seq]
+		if !ok {
+			b.head++ // released earlier via selective ack
+			continue
+		}
+		if seg.End() > cumAck {
+			break
+		}
+		b.release(seg)
+		released++
+		b.head++
+	}
+	b.maybeCompactOrder()
+	return released
+}
+
+// maybeCompactOrder reclaims the consumed prefix once it dominates.
+func (b *SendBuffer) maybeCompactOrder() {
+	if b.head > 1024 && b.head*2 > len(b.order) {
+		b.order = append(b.order[:0:0], b.order[b.head:]...)
+		b.head = 0
+	}
+}
+
+// AckPktRanges removes segments whose current packet number lies in any of
+// the acked PKT.SEQ ranges. Returns the released count.
+func (b *SendBuffer) AckPktRanges(ranges []seqspace.Range) int {
+	released := 0
+	for _, r := range ranges {
+		// Iterate the smaller side: for narrow ranges walk the range,
+		// otherwise scan the map.
+		if r.Len() <= uint64(len(b.byPkt)) {
+			for pkt := r.Lo; pkt < r.Hi; pkt++ {
+				if seg, ok := b.byPkt[pkt]; ok {
+					b.release(seg)
+					released++
+				}
+			}
+		} else {
+			for pkt, seg := range b.byPkt {
+				if r.Contains(pkt) {
+					b.release(seg)
+					released++
+				}
+			}
+		}
+	}
+	// Released entries go stale in order and are skipped on iteration.
+	return released
+}
+
+func (b *SendBuffer) release(seg *Segment) {
+	delete(b.bySeq, seg.Seq)
+	delete(b.byPkt, seg.PktSeq)
+	b.bytes -= seg.Len
+	b.releasedBytes += int64(seg.Len)
+	if !b.rateValid || seg.SentAt >= b.rateSentAt {
+		b.rateValid = true
+		b.rateSentAt = seg.SentAt
+		b.rateDeliveredAtSend = seg.deliveredAtSend
+	}
+	seg.released = true
+	if seg.LossMarked {
+		seg.LossMarked = false
+		b.markedLive--
+	}
+}
+
+// MarkLossByPktRanges flags segments in the reported lost PKT.SEQ ranges.
+// Only segments whose *current* transmission is in a range are marked —
+// reports about superseded packet numbers are stale and skipped. Returns the
+// marked segments in stream order.
+func (b *SendBuffer) MarkLossByPktRanges(ranges []seqspace.Range) []*Segment {
+	var marked []*Segment
+	for _, r := range ranges {
+		for pkt := r.Lo; pkt < r.Hi; pkt++ {
+			if seg, ok := b.byPkt[pkt]; ok && !seg.LossMarked {
+				b.MarkLoss(seg)
+				marked = append(marked, seg)
+			}
+		}
+	}
+	sort.Slice(marked, func(i, j int) bool { return marked[i].Seq < marked[j].Seq })
+	return marked
+}
+
+// MarkLoss flags a single segment (used by sender-side detection paths),
+// inserting it at its sorted position in the marked list.
+func (b *SendBuffer) MarkLoss(seg *Segment) {
+	if seg.LossMarked || seg.released {
+		return
+	}
+	seg.LossMarked = true
+	b.markedLive++
+	n := len(b.marked)
+	if n == 0 || b.marked[n-1].Seq <= seg.Seq {
+		b.marked = append(b.marked, seg)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return b.marked[i].Seq > seg.Seq })
+	b.marked = append(b.marked, nil)
+	copy(b.marked[i+1:], b.marked[i:])
+	b.marked[i] = seg
+}
+
+// markedEntryLive reports whether a marked-list entry is still actionable.
+func markedEntryLive(seg *Segment) bool { return seg.LossMarked && !seg.released }
+
+// compactMarked drops stale entries once they dominate the list.
+func (b *SendBuffer) compactMarked() {
+	if len(b.marked)-b.markedLive <= len(b.marked)/2 || len(b.marked) < 64 {
+		return
+	}
+	kept := b.marked[:0]
+	for _, seg := range b.marked {
+		if markedEntryLive(seg) {
+			kept = append(kept, seg)
+		}
+	}
+	b.marked = kept
+}
+
+// LossMarked returns all segments currently flagged lost, in stream order.
+func (b *SendBuffer) LossMarked() []*Segment {
+	out := make([]*Segment, 0, b.markedLive)
+	for _, seg := range b.marked {
+		if markedEntryLive(seg) {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// HasMarked reports whether any segment is flagged lost.
+func (b *SendBuffer) HasMarked() bool { return b.markedLive > 0 }
+
+// FirstEligibleRetransmit returns the lowest-Seq loss-marked segment whose
+// once-per-RTT cooldown has expired, or nil.
+func (b *SendBuffer) FirstEligibleRetransmit(now, rtt sim.Time) *Segment {
+	b.compactMarked()
+	for _, seg := range b.marked {
+		if markedEntryLive(seg) && b.MayRetransmit(seg, now, rtt) {
+			return seg
+		}
+	}
+	return nil
+}
+
+// ForEachEligibleRetransmit visits every loss-marked segment whose
+// once-per-RTT cooldown has expired, in stream order, in one pass. The
+// callback may retransmit the segment (clearing its mark); returning false
+// stops the walk.
+func (b *SendBuffer) ForEachEligibleRetransmit(now, rtt sim.Time, fn func(*Segment) bool) {
+	if b.markedLive == 0 {
+		return
+	}
+	b.compactMarked()
+	for i := 0; i < len(b.marked); i++ {
+		seg := b.marked[i]
+		if markedEntryLive(seg) && b.MayRetransmit(seg, now, rtt) {
+			if !fn(seg) {
+				return
+			}
+		}
+	}
+}
+
+// Oldest returns the unacked segment with the lowest byte offset, or nil.
+func (b *SendBuffer) Oldest() *Segment {
+	for b.head < len(b.order) {
+		if seg, ok := b.bySeq[b.order[b.head]]; ok {
+			return seg
+		}
+		b.head++
+	}
+	return nil
+}
+
+// Bytes returns the total unacknowledged payload bytes.
+func (b *SendBuffer) Bytes() int { return b.bytes }
+
+// ReleasedBytes returns the cumulative payload bytes acknowledged
+// (cumulatively or selectively) since the buffer was created.
+func (b *SendBuffer) ReleasedBytes() int64 { return b.releasedBytes }
+
+// BeginRateSample resets the delivery-rate anchor; call before processing
+// one acknowledgment's releases.
+func (b *SendBuffer) BeginRateSample() { b.rateValid = false }
+
+// RateSample returns a BBR-style delivery-rate sample for the releases
+// since BeginRateSample: delivered bytes over the send-anchored interval.
+// ok is false when nothing was released or the interval is degenerate.
+func (b *SendBuffer) RateSample(now sim.Time) (bps float64, ok bool) {
+	if !b.rateValid || now <= b.rateSentAt {
+		return 0, false
+	}
+	bytes := b.releasedBytes - b.rateDeliveredAtSend
+	if bytes <= 0 {
+		return 0, false
+	}
+	return float64(bytes) * 8 / (now - b.rateSentAt).Seconds(), true
+}
+
+// Len returns the number of unacknowledged segments.
+func (b *SendBuffer) Len() int { return len(b.bySeq) }
+
+// NextRetransmitTime returns the earliest time any loss-marked segment
+// becomes eligible under the once-per-RTT rule; ok is false when nothing is
+// marked.
+func (b *SendBuffer) NextRetransmitTime(rtt sim.Time) (sim.Time, bool) {
+	if b.markedLive == 0 {
+		return 0, false
+	}
+	b.compactMarked()
+	var best sim.Time
+	found := false
+	for _, seg := range b.marked {
+		if !markedEntryLive(seg) {
+			continue
+		}
+		at := sim.Time(0)
+		if seg.hasRetx {
+			at = seg.lastRetx + rtt
+		}
+		if !found || at < best {
+			best = at
+			found = true
+		}
+		if at == 0 {
+			break // cannot beat "eligible now"
+		}
+	}
+	return best, found
+}
+
+// ReleasePktBelow removes every segment whose current packet number is
+// below cum: the receiver's cumulative packet number guarantees all of them
+// were received (possibly crowded out of the selective-ack block budget).
+// The scan is monotone from the oldest floor, so it is amortized O(1) per
+// packet number ever used.
+func (b *SendBuffer) ReleasePktBelow(cum uint64) int {
+	released := 0
+	for b.oldestFloor < cum {
+		if seg, ok := b.byPkt[b.oldestFloor]; ok {
+			b.release(seg)
+			released++
+		}
+		b.oldestFloor++
+	}
+	return released
+}
+
+// OldestPktSeq returns the smallest packet number among the current
+// transmissions of unacknowledged segments; when nothing is outstanding it
+// returns next (the sender's next packet number). Every number below the
+// result is dead: acknowledged or superseded by a retransmission.
+func (b *SendBuffer) OldestPktSeq(next uint64) uint64 {
+	if len(b.byPkt) == 0 {
+		return next
+	}
+	for b.oldestFloor < next {
+		if _, ok := b.byPkt[b.oldestFloor]; ok {
+			return b.oldestFloor
+		}
+		b.oldestFloor++
+	}
+	return next
+}
+
+// Walk calls fn on every unacked segment in stream order; fn returning
+// false stops the walk.
+func (b *SendBuffer) Walk(fn func(*Segment) bool) {
+	for _, seq := range b.order[b.head:] {
+		if seg, ok := b.bySeq[seq]; ok {
+			if !fn(seg) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package cc
+
+func init() {
+	Register("static", func(cfg Config) Controller { return NewStatic(100e6, cfg) })
+}
+
+// Static is a fixed-rate controller used by the UDP-style measurement tool
+// (paper §3.2) and in tests: it paces at a constant rate with an
+// effectively unbounded window.
+type Static struct {
+	cfg  Config
+	rate float64
+}
+
+// NewStatic constructs a fixed-rate controller at rateBps.
+func NewStatic(rateBps float64, cfg Config) *Static {
+	return &Static{cfg: cfg, rate: rateBps}
+}
+
+// Name implements Controller.
+func (s *Static) Name() string { return "static" }
+
+// OnAck implements Controller (no-op).
+func (s *Static) OnAck(Ack) {}
+
+// OnLoss implements Controller (no-op).
+func (s *Static) OnLoss(Loss) {}
+
+// CWND implements Controller.
+func (s *Static) CWND() int { return s.cfg.maxCWND() }
+
+// PacingRate implements Controller.
+func (s *Static) PacingRate() float64 { return s.rate }
+
+// SetRate changes the fixed rate.
+func (s *Static) SetRate(rateBps float64) { s.rate = rateBps }

@@ -1,0 +1,96 @@
+package cc
+
+import "github.com/tacktp/tack/internal/sim"
+
+func init() {
+	Register("vegas", func(cfg Config) Controller { return NewVegas(cfg) })
+}
+
+// Vegas parameters: keep between alpha and beta packets queued at the
+// bottleneck.
+const (
+	vegasAlpha = 2 // packets
+	vegasBeta  = 4
+)
+
+// Vegas is the classic delay-based controller: it estimates the backlog
+// diff = cwnd·(1 − baseRTT/RTT) in packets and nudges the window to keep
+// the backlog between alpha and beta.
+type Vegas struct {
+	cfg     Config
+	cwnd    int
+	srtt    sim.Time
+	baseRTT sim.Time
+	// Adjust once per RTT.
+	lastAdjust sim.Time
+	slowStart  bool
+}
+
+// NewVegas constructs a Vegas controller.
+func NewVegas(cfg Config) *Vegas {
+	return &Vegas{cfg: cfg, cwnd: cfg.initialCWND(), slowStart: true}
+}
+
+// Name implements Controller.
+func (v *Vegas) Name() string { return "vegas" }
+
+// OnAck implements Controller.
+func (v *Vegas) OnAck(a Ack) {
+	if a.SRTT > 0 {
+		v.srtt = a.SRTT
+	}
+	if a.MinRTT > 0 && (v.baseRTT == 0 || a.MinRTT < v.baseRTT) {
+		v.baseRTT = a.MinRTT
+	}
+	if a.AppLimited || v.baseRTT == 0 || v.srtt <= 0 {
+		return
+	}
+	diffPkts := float64(v.cwnd) / MSS * (1 - float64(v.baseRTT)/float64(v.srtt))
+	if v.slowStart {
+		// Vegas slow start: double every other RTT while backlog < alpha... we
+		// approximate with byte-counted growth until the backlog appears.
+		if diffPkts < vegasAlpha {
+			v.cwnd += a.Bytes
+		} else {
+			v.slowStart = false
+		}
+		v.clamp()
+		return
+	}
+	if a.Now-v.lastAdjust < v.srtt {
+		return
+	}
+	v.lastAdjust = a.Now
+	switch {
+	case diffPkts < vegasAlpha:
+		v.cwnd += MSS
+	case diffPkts > vegasBeta:
+		v.cwnd -= MSS
+	}
+	v.clamp()
+}
+
+// OnLoss implements Controller.
+func (v *Vegas) OnLoss(l Loss) {
+	v.slowStart = false
+	if l.Timeout {
+		v.cwnd = 2 * MSS
+		return
+	}
+	v.cwnd = max(v.cwnd*3/4, 2*MSS)
+}
+
+func (v *Vegas) clamp() {
+	if v.cwnd > v.cfg.maxCWND() {
+		v.cwnd = v.cfg.maxCWND()
+	}
+	if v.cwnd < 2*MSS {
+		v.cwnd = 2 * MSS
+	}
+}
+
+// CWND implements Controller.
+func (v *Vegas) CWND() int { return v.cwnd }
+
+// PacingRate implements Controller.
+func (v *Vegas) PacingRate() float64 { return pacingFromWindow(v.cwnd, v.srtt) }

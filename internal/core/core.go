@@ -1,0 +1,409 @@
+// Package core implements the TACK acknowledgment mechanism — the paper's
+// primary contribution (§4–5). It provides the receiver-side machinery that
+// the transport engine composes:
+//
+//   - LossTracker: receiver-based loss detection over the PKT.SEQ space
+//     with a reordering settle delay (§5.1, §7), driving loss-event IACKs
+//     and remembering which losses were reported so TACKs can repeat them.
+//   - BlockBudget: Appendix A's analysis of when a TACK must carry more
+//     unacked blocks (Eq. 6/9) and how many more (ΔQ), as a function of the
+//     data-path loss ρ, ACK-path loss ρ′, and the bdp regime.
+//   - AckBuilder: assembles the acked/unacked lists for a TACK under an
+//     MSS-bounded block budget, preferring the newest acked blocks and the
+//     oldest unacked blocks (§5.1).
+//   - WindowMonitor: decides when an abrupt receive-window change warrants
+//     a window-update IACK (§5.3).
+//   - AckLossEstimator: sender-side ρ′ estimation from ACK sequence gaps
+//     (§5.4).
+//
+// The acknowledgment *timing* discipline lives in package ackpolicy; the
+// wire format in package packet.
+package core
+
+import (
+	"github.com/tacktp/tack/internal/seqspace"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// MSS mirrors the full-sized packet assumption of the paper.
+const MSS = 1500
+
+// Params bundles the TACK mechanism constants.
+type Params struct {
+	// Beta is the periodic-ACK count per RTTmin (paper default 4).
+	Beta int
+	// L is the byte-counting packet threshold (paper default 2).
+	L int
+	// Q is the primary number of unacked blocks a TACK reports (the
+	// "TACK-poor" configuration uses 1; rich configurations raise the
+	// budget adaptively).
+	Q int
+	// SettleFraction divides RTTmin to obtain the IACK reordering settle
+	// delay (paper §7 cites RTTmin/4; 4 is the default).
+	SettleFraction int
+}
+
+// DefaultParams returns the paper's recommended configuration.
+func DefaultParams() Params {
+	return Params{Beta: 4, L: 2, Q: 1, SettleFraction: 4}
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Beta <= 0 {
+		p.Beta = d.Beta
+	}
+	if p.L <= 0 {
+		p.L = d.L
+	}
+	if p.Q <= 0 {
+		p.Q = d.Q
+	}
+	if p.SettleFraction <= 0 {
+		p.SettleFraction = d.SettleFraction
+	}
+	return p
+}
+
+// suspect is a PKT.SEQ gap awaiting its settle delay before being declared
+// lost.
+type suspect struct {
+	r  seqspace.Range
+	at sim.Time // when the gap was first observed
+}
+
+// LossTracker performs receiver-based loss detection in the packet-number
+// space. Because every transmission (including retransmissions) carries a
+// fresh, monotonically increasing PKT.SEQ, a gap below the largest received
+// number can only mean loss or reordering — never ambiguity about which
+// transmission arrived (§5.1).
+type LossTracker struct {
+	received seqspace.RangeSet // PKT.SEQs seen
+	reported seqspace.RangeSet // PKT.SEQs reported lost via IACK
+	// reportedAt timestamps each reported range so stale entries can be
+	// pruned: a reported PKT.SEQ hole never fills when the sender repaired
+	// it with a retransmission (which carries a fresh number), so holes are
+	// dropped once they have been outstanding long enough for the repair
+	// to have happened (a few RTTs; the sender's RTO backstops the rest).
+	reportedAt []suspect
+	suspects   []suspect
+	largest    uint64
+	have       bool
+
+	// Interval accounting for the receiver-computed loss rate ρ.
+	intervalBase     uint64 // largest at last interval close
+	intervalReceived int
+	totalLost        int
+}
+
+// NewLossTracker returns an empty tracker.
+func NewLossTracker() *LossTracker { return &LossTracker{} }
+
+// Largest returns the largest PKT.SEQ received (and whether any packet
+// arrived yet).
+func (lt *LossTracker) Largest() (uint64, bool) { return lt.largest, lt.have }
+
+// OnPacket records the arrival of pktSeq at time now and returns any newly
+// suspected gap (the PKT.SEQs skipped over), which starts its settle timer.
+func (lt *LossTracker) OnPacket(now sim.Time, pktSeq uint64) (newGap seqspace.Range, gapped bool) {
+	lt.intervalReceived++
+	if !lt.have {
+		lt.have = true
+		lt.largest = pktSeq
+		lt.received.AddValue(pktSeq)
+		if pktSeq > 0 {
+			g := seqspace.Range{Lo: 0, Hi: pktSeq}
+			lt.suspects = append(lt.suspects, suspect{r: g, at: now})
+			return g, true
+		}
+		return seqspace.Range{}, false
+	}
+	lt.received.AddValue(pktSeq)
+	if pktSeq > lt.largest+1 {
+		g := seqspace.Range{Lo: lt.largest + 1, Hi: pktSeq}
+		lt.suspects = append(lt.suspects, suspect{r: g, at: now})
+		lt.largest = pktSeq
+		return g, true
+	}
+	if pktSeq > lt.largest {
+		lt.largest = pktSeq
+	}
+	return seqspace.Range{}, false
+}
+
+// DueLosses returns the suspected ranges whose settle delay has elapsed and
+// that are still missing; they are marked as reported (the IACK trigger).
+// The caller sends one loss IACK covering the returned ranges.
+func (lt *LossTracker) DueLosses(now sim.Time, settle sim.Time) []seqspace.Range {
+	var due []seqspace.Range
+	kept := lt.suspects[:0]
+	for _, s := range lt.suspects {
+		if now-s.at < settle {
+			kept = append(kept, s)
+			continue
+		}
+		// Reduce the suspect range to what is still missing.
+		for _, missing := range lt.received.Gaps(s.r.Lo, s.r.Hi) {
+			due = append(due, missing)
+			lt.reported.AddRange(missing)
+			lt.reportedAt = append(lt.reportedAt, suspect{r: missing, at: now})
+			lt.totalLost += int(missing.Len())
+		}
+	}
+	lt.suspects = kept
+	return due
+}
+
+// PruneReported drops reported holes first flagged before cutoff. Call with
+// cutoff = now − a few RTTs so TACKs stop repeating holes the sender has
+// long since repaired under fresh packet numbers.
+func (lt *LossTracker) PruneReported(cutoff sim.Time) {
+	kept := lt.reportedAt[:0]
+	for _, s := range lt.reportedAt {
+		if s.at >= cutoff {
+			kept = append(kept, s)
+			continue
+		}
+		lt.reported.Remove(s.r.Lo, s.r.Hi)
+	}
+	lt.reportedAt = kept
+}
+
+// NextDue returns the earliest settle deadline among pending suspects
+// (ok=false when none).
+func (lt *LossTracker) NextDue(settle sim.Time) (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, s := range lt.suspects {
+		d := s.at + settle
+		if !found || d < best {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SuspectFrontier returns the lowest PKT.SEQ of any pending (unsettled)
+// suspect; ok is false when no suspects are pending. Below the frontier,
+// the reported set is authoritative: every missing PKT.SEQ has been
+// declared lost.
+func (lt *LossTracker) SuspectFrontier() (uint64, bool) {
+	var best uint64
+	found := false
+	for _, s := range lt.suspects {
+		if !found || s.r.Lo < best {
+			best = s.r.Lo
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ReportedMissing returns the PKT.SEQ ranges that were reported lost via
+// IACK and have still not arrived — the pool TACKs draw their unacked list
+// from (§5.1: "TACK only reports missing packets that have been reported
+// by loss-event-driven IACKs").
+func (lt *LossTracker) ReportedMissing() []seqspace.Range {
+	var out []seqspace.Range
+	for _, r := range lt.reported.Ranges() {
+		out = append(out, lt.received.Gaps(r.Lo, r.Hi)...)
+	}
+	return out
+}
+
+// AckedRanges returns the received PKT.SEQ ranges (the acked list).
+func (lt *LossTracker) AckedRanges() []seqspace.Range { return lt.received.Ranges() }
+
+// Received reports whether pktSeq has arrived.
+func (lt *LossTracker) Received(pktSeq uint64) bool { return lt.received.Contains(pktSeq) }
+
+// CloseInterval ends a loss-rate measurement interval (aligned with TACK
+// emission) and returns ρ for the interval in [0,1].
+func (lt *LossTracker) CloseInterval() float64 {
+	if !lt.have {
+		return 0
+	}
+	expected := int(lt.largest - lt.intervalBase)
+	if lt.intervalBase == 0 && lt.largest > 0 {
+		expected++ // packet number 0 also expected in the first interval
+	}
+	rcv := lt.intervalReceived
+	lt.intervalBase = lt.largest
+	lt.intervalReceived = 0
+	if expected <= 0 || rcv >= expected {
+		return 0
+	}
+	return float64(expected-rcv) / float64(expected)
+}
+
+// Compact drops tracking state for PKT.SEQs below floor (all fully
+// processed), bounding memory on long flows.
+func (lt *LossTracker) Compact(floor uint64) {
+	lt.received.RemoveBelow(floor)
+	lt.reported.RemoveBelow(floor)
+	kept := lt.suspects[:0]
+	for _, s := range lt.suspects {
+		if s.r.Hi > floor {
+			if s.r.Lo < floor {
+				s.r.Lo = floor
+			}
+			kept = append(kept, s)
+		}
+	}
+	lt.suspects = kept
+	keptRep := lt.reportedAt[:0]
+	for _, s := range lt.reportedAt {
+		if s.r.Hi > floor {
+			keptRep = append(keptRep, s)
+		}
+	}
+	lt.reportedAt = keptRep
+}
+
+// TotalLost returns the cumulative count of PKT.SEQs declared lost.
+func (lt *LossTracker) TotalLost() int { return lt.totalLost }
+
+// BlockBudget computes how many unacked blocks a TACK should carry
+// (Appendix A). Inputs: the configured primary budget Q, measured loss
+// rates ρ (data path) and ρ′ (ACK path), the bandwidth-delay product in
+// bytes, and the L/β/MSS constants.
+type BlockBudget struct {
+	p Params
+}
+
+// NewBlockBudget returns a budget calculator for params p.
+func NewBlockBudget(p Params) *BlockBudget { return &BlockBudget{p: p.withDefaults()} }
+
+// largeBDP reports whether the flow is in the periodic-TACK regime
+// (bdp ≥ β·L·MSS).
+func (b *BlockBudget) largeBDP(bdpBytes float64) bool {
+	return bdpBytes >= float64(b.p.Beta*b.p.L*MSS)
+}
+
+// RichThreshold returns the ACK-path loss rate ρ′ above which a TACK must
+// carry more than the primary Q blocks (Eq. 6/9). An infinite threshold is
+// returned as 1 (ρ′ can never exceed it) when the data path is loss-free.
+func (b *BlockBudget) RichThreshold(rho, bdpBytes float64) float64 {
+	if rho <= 0 {
+		return 1
+	}
+	var th float64
+	if b.largeBDP(bdpBytes) {
+		th = float64(b.p.Q) * MSS / (rho * bdpBytes)
+	} else {
+		th = float64(b.p.Q) / (rho * float64(b.p.L))
+	}
+	if th > 1 {
+		th = 1
+	}
+	return th
+}
+
+// Blocks returns the number of unacked blocks the next TACK should report:
+// Q when ρ′ is at or below the threshold, Q+ΔQ above it (Appendix A's
+// ΔQ = ρ·ρ′·bdp/MSS − Q in the large-bdp regime, ρ·ρ′·L − Q in the small).
+func (b *BlockBudget) Blocks(rho, rhoPrime, bdpBytes float64) int {
+	q := b.p.Q
+	if rho <= 0 || rhoPrime <= b.RichThreshold(rho, bdpBytes) {
+		return q
+	}
+	var need float64
+	if b.largeBDP(bdpBytes) {
+		need = rho * rhoPrime * bdpBytes / MSS
+	} else {
+		need = rho * rhoPrime * float64(b.p.L)
+	}
+	n := int(need + 0.999)
+	if n < q {
+		n = q
+	}
+	return n
+}
+
+// AckBuilder selects the block lists for a TACK under a budget.
+type AckBuilder struct{}
+
+// Build picks up to maxAcked acked blocks (preferring the largest packet
+// numbers — the freshest information) and up to maxUnacked unacked blocks
+// (preferring the smallest — the oldest outstanding losses), per §5.1.
+func (AckBuilder) Build(acked, unacked []seqspace.Range, maxAcked, maxUnacked int) (a, u []seqspace.Range) {
+	if n := len(acked); n > maxAcked {
+		acked = acked[n-maxAcked:]
+	}
+	if len(unacked) > maxUnacked {
+		unacked = unacked[:maxUnacked]
+	}
+	a = append(a, acked...)
+	u = append(u, unacked...)
+	return a, u
+}
+
+// WindowMonitor triggers window-update IACKs on abrupt receive-window
+// changes (§4.4 item 2, §5.3): a zero window must be announced at once, and
+// so must the release of a large volume of buffered data (more than a
+// quarter of capacity by default).
+type WindowMonitor struct {
+	capacity     int
+	lastAnnounce uint64
+	// ReleaseFraction of capacity that counts as a "large volume" release.
+	releaseNum, releaseDen int
+}
+
+// NewWindowMonitor returns a monitor for a receive buffer of the given
+// capacity in bytes.
+func NewWindowMonitor(capacity int) *WindowMonitor {
+	return &WindowMonitor{capacity: capacity, lastAnnounce: uint64(capacity), releaseNum: 1, releaseDen: 4}
+}
+
+// Check inspects the current advertised window and reports whether an
+// immediate IACK is warranted. It records the announcement when it fires.
+func (w *WindowMonitor) Check(window uint64) bool {
+	if window == 0 && w.lastAnnounce != 0 {
+		w.lastAnnounce = 0
+		return true
+	}
+	released := int64(window) - int64(w.lastAnnounce)
+	if released > int64(w.capacity)*int64(w.releaseNum)/int64(w.releaseDen) {
+		w.lastAnnounce = window
+		return true
+	}
+	return false
+}
+
+// OnAckSent records that window was announced through a regular TACK, so
+// only future *abrupt* changes trigger IACKs.
+func (w *WindowMonitor) OnAckSent(window uint64) { w.lastAnnounce = window }
+
+// AckLossEstimator measures the ACK-path loss rate ρ′ at the sender from
+// gaps in the ACK sequence numbers carried by TACKs/IACKs (§5.4).
+type AckLossEstimator struct {
+	largest  uint64
+	received int
+	have     bool
+}
+
+// NewAckLossEstimator returns an empty estimator.
+func NewAckLossEstimator() *AckLossEstimator { return &AckLossEstimator{} }
+
+// OnAck records an arriving acknowledgment's sequence number.
+func (e *AckLossEstimator) OnAck(ackSeq uint64) {
+	e.received++
+	if !e.have || ackSeq > e.largest {
+		e.largest = ackSeq
+		e.have = true
+	}
+}
+
+// Rate returns the estimated ρ′ in [0,1].
+func (e *AckLossEstimator) Rate() float64 {
+	if !e.have {
+		return 0
+	}
+	expected := int(e.largest) + 1
+	if e.received >= expected {
+		return 0
+	}
+	return float64(expected-e.received) / float64(expected)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tacktp/tack/internal/phy"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stats"
+	"github.com/tacktp/tack/internal/topo"
+)
+
+func init() {
+	register("fig6a", runFig6a)
+	register("fig6b", runFig6b)
+}
+
+// runFig6a reproduces Figure 6(a): the minimum-RTT microbenchmark. A flow
+// runs across an emulated path with a fixed 100 ms bidirectional latency;
+// the sender tracks both the legacy sampled estimate and the advanced
+// (Δt-corrected, min-OWD-echo) estimate. The paper reports the sampled
+// estimate 8–18% above the true floor while the advanced one tracks it.
+func runFig6a(opt Options) (*Result, error) {
+	dur := opt.dur(25 * sim.Second)
+	loop := sim.NewLoop(opt.seed())
+	// Paper setup: two Wi-Fi endpoints with an emulator forwarding and a
+	// fixed 100 ms bidirectional latency — the WLAN hop supplies the
+	// queueing/airtime jitter that separates the estimators.
+	path, _, _, _ := topo.HybridPath(loop,
+		topo.WLANConfig{Standard: phy.Std80211g},
+		topo.WANConfig{RateBps: 200e6, OWD: 50 * sim.Millisecond})
+	flow, err := topo.NewFlow(loop, tackConfig(), path)
+	if err != nil {
+		return nil, err
+	}
+	flow.Start()
+	tbl := stats.NewTable("t", "sampled RTTmin", "advanced RTTmin")
+	var lastSampled, lastAdvanced sim.Time
+	step := dur / 5
+	for at := step; at <= dur; at += step {
+		loop.RunUntil(at)
+		s, _ := flow.Sender.SampledRTTMin()
+		a, _ := flow.Sender.AdvancedRTTMin()
+		lastSampled, lastAdvanced = s, a
+		tbl.AddRow(at.String(), s.String(), a.String())
+	}
+	bias := 0.0
+	if lastAdvanced > 0 {
+		bias = float64(lastSampled-lastAdvanced) / float64(lastAdvanced) * 100
+	}
+	notes := fmt.Sprintf("True floor 100 ms (+ serialization). Final sampled-vs-advanced bias: %.1f%% (paper: 8–18%%).", bias)
+	return &Result{ID: "fig6a", Title: "Round-trip timing microbenchmark (fixed 100 ms latency)", Table: tbl.String(), Notes: notes}, nil
+}
+
+// runFig6b reproduces Figure 6(b): the end-to-end effect of the advanced
+// timing. Two identical TACK flows run over a queue-prone path; one drives
+// its controller from the legacy sampled estimator ("before"), the other
+// from the advanced estimator ("after"). The paper reports ~20% lower
+// 95th-percentile OWD and ~54% less loss after the change.
+func runFig6b(opt Options) (*Result, error) {
+	dur := opt.dur(30 * sim.Second)
+	wlan := topo.WLANConfig{Standard: phy.Std80211g}
+	wan := topo.WANConfig{RateBps: 200e6, OWD: 50 * sim.Millisecond}
+	run := func(legacyTiming bool) (flowMetrics, error) {
+		cfg := tackConfig()
+		cfg.LegacyTiming = legacyTiming
+		m, err := runHybridFlow(opt.seed(), wlan, wan, cfg, dur)
+		return m, err
+	}
+	before, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	after, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	lossRate := func(m flowMetrics) float64 {
+		if m.DataPackets == 0 {
+			return 0
+		}
+		return float64(m.Retransmits) / float64(m.DataPackets)
+	}
+	tbl := stats.NewTable("Timing", "95th pct OWD", "Retransmit rate", "Goodput Mbit/s")
+	tbl.AddRow("sampling (before)", before.OWD95.String(), stats.Pct(lossRate(before)), stats.Mbps(before.GoodputBps))
+	tbl.AddRow("advanced (after)", after.OWD95.String(), stats.Pct(lossRate(after)), stats.Mbps(after.GoodputBps))
+	owdDrop := 0.0
+	if before.OWD95 > 0 {
+		owdDrop = (1 - float64(after.OWD95)/float64(before.OWD95)) * 100
+	}
+	notes := fmt.Sprintf("Paper: 20%% lower P95 OWD and 54%% less loss, without sacrificing throughput. Here: OWD95 down %.0f%%.", owdDrop)
+	return &Result{ID: "fig6b", Title: "Advanced round-trip timing lowers latency and loss", Table: tbl.String(), Notes: notes}, nil
+}

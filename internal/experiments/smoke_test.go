@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsQuick smoke-runs every registered experiment in quick
+// mode, asserting they produce non-empty tables without error.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Table == "" {
+				t.Fatal("empty table")
+			}
+			t.Log("\n" + r.String())
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}

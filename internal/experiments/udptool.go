@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"github.com/tacktp/tack/internal/mac"
+	"github.com/tacktp/tack/internal/phy"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// udpToolResult is one run of the paper's UDP-based measurement tool
+// (§3.2, "ackemu"): a sender blasting fixed-size frames with the receiver
+// answering one small frame per L data frames.
+type udpToolResult struct {
+	DataBps    float64
+	AckBps     float64
+	DataFrames int
+	AckFrames  int
+	Collisions int
+}
+
+// udpToolConfig parameterizes the tool.
+type udpToolConfig struct {
+	Std       phy.Standard
+	FrameSize int      // data frame size (paper: 1518)
+	AckSize   int      // ack frame size (paper: 64)
+	SendBps   float64  // offered data rate; <=0 saturates
+	AckEveryL int      // one ack per L data frames; 0 disables acks
+	AckPeriod sim.Time // alternatively, one ack per period (periodic mode)
+	Dur       sim.Time
+	Seed      int64
+}
+
+// runUDPTool emulates the tool over the DCF simulator.
+func runUDPTool(cfg udpToolConfig) udpToolResult {
+	loop := sim.NewLoop(cfg.Seed)
+	m := mac.NewMedium(loop, phy.Get(cfg.Std))
+	snd := m.AddStation("data", 512)
+	rcv := m.AddStation("ack", 512)
+
+	var res udpToolResult
+	pending := 0
+	rcv.Receive = func(f *mac.Frame) {
+		res.DataFrames++
+		if cfg.AckEveryL > 0 {
+			pending++
+			for pending >= cfg.AckEveryL {
+				pending -= cfg.AckEveryL
+				rcv.Send(snd, cfg.AckSize, nil)
+			}
+		}
+	}
+	snd.Receive = func(f *mac.Frame) { res.AckFrames++ }
+
+	if cfg.AckPeriod > 0 {
+		var tick func()
+		tick = func() {
+			rcv.Send(snd, cfg.AckSize, nil)
+			loop.After(cfg.AckPeriod, tick)
+		}
+		loop.After(cfg.AckPeriod, tick)
+	}
+
+	if cfg.SendBps > 0 {
+		// CBR source.
+		interval := sim.Time(float64(cfg.FrameSize*8) / cfg.SendBps * 1e9)
+		var gen func()
+		gen = func() {
+			snd.Send(rcv, cfg.FrameSize, nil)
+			loop.After(interval, gen)
+		}
+		loop.After(0, gen)
+	} else {
+		// Saturated source: keep the queue topped up.
+		var refill func()
+		refill = func() {
+			for snd.QueueLen() < 64 {
+				snd.Send(rcv, cfg.FrameSize, nil)
+			}
+			loop.After(sim.Millisecond, refill)
+		}
+		loop.After(0, refill)
+	}
+
+	loop.RunUntil(cfg.Dur)
+	res.DataBps = float64(res.DataFrames) * float64(cfg.FrameSize) * 8 / cfg.Dur.Seconds()
+	res.AckBps = float64(res.AckFrames) * float64(cfg.AckSize) * 8 / cfg.Dur.Seconds()
+	res.Collisions = snd.Stats.Collisions + rcv.Stats.Collisions
+	return res
+}

@@ -1,0 +1,46 @@
+package mac
+
+import (
+	"testing"
+
+	"github.com/tacktp/tack/internal/phy"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// BenchmarkSaturatedMedium measures simulator throughput for one saturated
+// 802.11n sender (events per wall-clock second drive every WLAN experiment).
+func BenchmarkSaturatedMedium(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop(int64(i + 1))
+		m := NewMedium(loop, phy.Get(phy.Std80211n))
+		a := m.AddStation("a", 0)
+		dst := m.AddStation("b", 0)
+		var bytes int64
+		dst.Receive = func(f *Frame) { bytes += int64(f.Size) }
+		saturate(loop, a, dst, 1518)
+		loop.RunUntil(sim.Second)
+		b.SetBytes(bytes)
+	}
+}
+
+// BenchmarkContendedMedium measures the two-station contention case (data
+// vs ACK streams), the configuration behind Figure 3.
+func BenchmarkContendedMedium(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop(int64(i + 1))
+		m := NewMedium(loop, phy.Get(phy.Std80211n))
+		snd := m.AddStation("data", 0)
+		rcv := m.AddStation("ack", 0)
+		var bytes int64
+		rcv.Receive = func(f *Frame) {
+			bytes += int64(f.Size)
+			rcv.Send(snd, 64, nil)
+		}
+		snd.Receive = func(f *Frame) {}
+		saturate(loop, snd, rcv, 1518)
+		loop.RunUntil(sim.Second)
+		b.SetBytes(bytes)
+	}
+}

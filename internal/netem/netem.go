@@ -1,0 +1,164 @@
+// Package netem emulates wired network paths: a serialization rate, a
+// propagation delay, a bounded drop-tail queue and independent Bernoulli
+// loss, configurable per direction.
+//
+// It stands in for the hardware network emulator (Spirent Attero) the TACK
+// paper uses to impose WAN latency and impairments between the wireless
+// router and the server (paper §6.1, §6.5): bandwidth, RTT, data-path loss
+// ρ and ACK-path loss ρ′ are exactly the knobs exposed here.
+package netem
+
+import (
+	"math/rand"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Deliver is the downstream hand-off invoked for every object that survives
+// the link.
+type Deliver func(payload any, size int)
+
+// Config describes one direction of a link.
+type Config struct {
+	// RateBps is the serialization rate in bits/s; zero means infinite
+	// (no serialization delay, no queueing).
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay sim.Time
+	// QueueBytes bounds the drop-tail queue; zero selects a default of one
+	// bandwidth-delay product (minimum 64 KiB).
+	QueueBytes int
+	// LossRate is an independent drop probability per packet.
+	LossRate float64
+	// ReorderRate is the probability that a packet is held back and
+	// delivered ReorderDelay later, modelling fine-grained multi-path load
+	// balancing (paper §7 "handling reordering"). Zero disables it.
+	ReorderRate float64
+	// ReorderDelay is the extra delay applied to reordered packets
+	// (default 2 ms when ReorderRate is set).
+	ReorderDelay sim.Time
+}
+
+// DefaultQueueBytes returns the queue bound in force for the config.
+func (c Config) DefaultQueueBytes() int {
+	if c.QueueBytes > 0 {
+		return c.QueueBytes
+	}
+	bdp := int(c.RateBps / 8 * c.Delay.Seconds())
+	if bdp < 64*1024 {
+		bdp = 64 * 1024
+	}
+	return bdp
+}
+
+// Link is one unidirectional emulated path.
+type Link struct {
+	loop *sim.Loop
+	cfg  Config
+	out  Deliver
+	rng  *rand.Rand
+
+	queueBytes int
+	queueLimit int
+	// busyUntil is when the serializer frees up.
+	busyUntil sim.Time
+
+	// Stats.
+	Sent      int
+	Dropped   int // loss-model drops
+	Overflows int // queue-full drops
+	Reordered int // packets delayed by the reordering model
+	Delivered int
+	SentBytes int64
+}
+
+// NewLink builds a link delivering surviving packets to out.
+func NewLink(loop *sim.Loop, cfg Config, out Deliver) *Link {
+	return &Link{
+		loop:       loop,
+		cfg:        cfg,
+		out:        out,
+		rng:        loop.Rand(),
+		queueLimit: cfg.DefaultQueueBytes(),
+	}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// SetLossRate adjusts the loss model on the fly (used by experiments that
+// vary ρ mid-run).
+func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
+
+// QueueBytes returns the bytes currently queued awaiting serialization.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// Send offers a packet of the given size to the link.
+func (l *Link) Send(payload any, size int) {
+	l.Sent++
+	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+		l.Dropped++
+		return
+	}
+	now := l.loop.Now()
+	extra := sim.Time(0)
+	if l.cfg.ReorderRate > 0 && l.rng.Float64() < l.cfg.ReorderRate {
+		extra = l.cfg.ReorderDelay
+		if extra <= 0 {
+			extra = 2 * sim.Millisecond
+		}
+		l.Reordered++
+	}
+	if l.cfg.RateBps <= 0 {
+		// Infinite-rate link: pure delay line.
+		l.SentBytes += int64(size)
+		l.loop.After(l.cfg.Delay+extra, func() {
+			l.Delivered++
+			l.out(payload, size)
+		})
+		return
+	}
+	if l.queueBytes+size > l.queueLimit {
+		l.Overflows++
+		return
+	}
+	l.queueBytes += size
+	l.SentBytes += int64(size)
+	ser := sim.Time(float64(size*8) / l.cfg.RateBps * 1e9)
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	l.busyUntil = start + ser
+	done := l.busyUntil
+	l.loop.At(done, func() {
+		l.queueBytes -= size
+		l.loop.After(l.cfg.Delay+extra, func() {
+			l.Delivered++
+			l.out(payload, size)
+		})
+	})
+}
+
+// Pipe is a bidirectional link pair with independent per-direction configs.
+type Pipe struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewPipe builds a duplex link; outA receives traffic sent by B, outB
+// receives traffic sent by A.
+func NewPipe(loop *sim.Loop, aToB, bToA Config, outB, outA Deliver) *Pipe {
+	return &Pipe{
+		AtoB: NewLink(loop, aToB, outB),
+		BtoA: NewLink(loop, bToA, outA),
+	}
+}
+
+// Symmetric returns a duplex config pair with the same rate/delay both ways
+// but distinct loss rates for the data and ACK directions (ρ, ρ′).
+func Symmetric(rateBps float64, owd sim.Time, queueBytes int, dataLoss, ackLoss float64) (fwd, rev Config) {
+	fwd = Config{RateBps: rateBps, Delay: owd, QueueBytes: queueBytes, LossRate: dataLoss}
+	rev = Config{RateBps: rateBps, Delay: owd, QueueBytes: queueBytes, LossRate: ackLoss}
+	return fwd, rev
+}

@@ -1,0 +1,48 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tacktp/tack/internal/seqspace"
+)
+
+// FuzzUnmarshal exercises the wire decoder with arbitrary bytes: it must
+// never panic, and any packet it accepts must re-encode to a decodable
+// form (decode→encode→decode fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid encodings of every packet type.
+	seeds := []*Packet{
+		{Type: TypeSYN, ConnID: 1, SentAt: 5},
+		{Type: TypeSYNACK, ConnID: 1, IACK: IACKHandshake, Ack: &AckInfo{Window: 1 << 20}},
+		{Type: TypeData, ConnID: 2, PktSeq: 9, Seq: 1500, Payload: bytes.Repeat([]byte{7}, 64), FIN: true},
+		{Type: TypeTACK, ConnID: 3, Ack: &AckInfo{
+			CumAck:        4096,
+			AckedBlocks:   []seqspace.Range{{Lo: 1, Hi: 5}},
+			UnackedBlocks: []seqspace.Range{{Lo: 5, Hi: 7}},
+		}},
+		{Type: TypeIACK, ConnID: 3, IACK: IACKLoss, Ack: &AckInfo{UnackedBlocks: []seqspace.Range{{Lo: 2, Hi: 3}}}},
+		{Type: TypeFIN, ConnID: 4, Seq: 1 << 30},
+		{Type: TypeFINACK, ConnID: 4, Ack: &AckInfo{CumAck: 1 << 30}},
+	}
+	for _, p := range seeds {
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		re := p.Marshal()
+		q, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted packet failed: %v (%+v)", err, p)
+		}
+		if q.Type != p.Type || q.PktSeq != p.PktSeq || q.Seq != p.Seq {
+			t.Fatalf("decode/encode fixpoint violated:\n p=%+v\n q=%+v", p, q)
+		}
+	})
+}

@@ -1,0 +1,398 @@
+// Package packet defines the TACK transport wire format.
+//
+// A packet has a fixed common header (version, type, connection id, packet
+// number, departure timestamp) followed by a type-specific body. The packet
+// number (PKT.SEQ, paper §5.1) is carried by every packet and monotonically
+// increases with each transmission — retransmissions of the same byte range
+// get fresh packet numbers, which is what removes retransmission ambiguity
+// and enables receiver-based loss detection.
+//
+// The same encoding is used by the in-process simulator (which mostly passes
+// *Packet values around but relies on WireSize for airtime computation) and
+// by the UDP runner (which marshals to the wire verbatim).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/tacktp/tack/internal/seqspace"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Version is the wire-format version emitted by this library.
+const Version = 1
+
+// Type discriminates packet bodies.
+type Type uint8
+
+// Packet types.
+const (
+	TypeInvalid Type = iota
+	TypeSYN          // connection open (client -> server)
+	TypeSYNACK       // connection accept (server -> client)
+	TypeData         // bytestream segment
+	TypeTACK         // periodic / byte-counting Tame ACK
+	TypeIACK         // instant, event-driven ACK
+	TypeFIN          // sender is done
+	TypeFINACK       // FIN acknowledgment
+)
+
+// String returns the conventional name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeSYN:
+		return "SYN"
+	case TypeSYNACK:
+		return "SYNACK"
+	case TypeData:
+		return "DATA"
+	case TypeTACK:
+		return "TACK"
+	case TypeIACK:
+		return "IACK"
+	case TypeFIN:
+		return "FIN"
+	case TypeFINACK:
+		return "FINACK"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// IACKKind identifies the instant event that triggered an IACK (paper §4.4).
+type IACKKind uint8
+
+// IACK kinds.
+const (
+	IACKLoss      IACKKind = iota + 1 // receiver detected missing packets
+	IACKWindow                        // abrupt receive-window change (zero / large release)
+	IACKRTTSync                       // sender syncs updated RTTmin to receiver
+	IACKHandshake                     // completes connection establishment
+	IACKKeepalive                     // liveness probe
+)
+
+// String returns the kind's name.
+func (k IACKKind) String() string {
+	switch k {
+	case IACKLoss:
+		return "loss"
+	case IACKWindow:
+		return "window"
+	case IACKRTTSync:
+		return "rttsync"
+	case IACKHandshake:
+		return "handshake"
+	case IACKKeepalive:
+		return "keepalive"
+	default:
+		return fmt.Sprintf("IACKKind(%d)", uint8(k))
+	}
+}
+
+// AckInfo is the feedback block shared by TACK and IACK bodies.
+//
+// CumAck / CumPktSeq acknowledge the contiguous prefix; AckedBlocks and
+// UnackedBlocks are the paper's "acked list" and "unacked list" over the
+// PKT.SEQ space; the delivery/loss fields sync receiver-side transport
+// statistics to the sender (paper §4.4 "more information carried in ACKs").
+type AckInfo struct {
+	// CumAck is the next expected byte offset (all bytes < CumAck received).
+	CumAck uint64
+	// CumPktSeq is the highest packet number below which every packet's
+	// payload has been received (possibly via retransmission).
+	CumPktSeq uint64
+	// LargestPktSeq is the largest packet number seen so far.
+	LargestPktSeq uint64
+	// AckSeq numbers the ACKs themselves so the sender can estimate the
+	// ACK-path loss rate ρ′ (paper §5.4).
+	AckSeq uint64
+	// Window is the receiver's available window in bytes (AWND).
+	Window uint64
+	// AckDelay is Δt⋆: time between receiving the echoed packet and sending
+	// this ACK, enabling the sender's explicit RTT correction (paper §4.3).
+	AckDelay sim.Time
+	// EchoDeparture echoes the departure timestamp t0⋆ of the packet that
+	// achieved the minimum one-way delay within the ACK interval (§5.2).
+	EchoDeparture sim.Time
+	// FirstEchoDeparture echoes the departure timestamp of the *first*
+	// pending packet of the ACK interval — what a legacy TCP timestamp
+	// echo (RFC 7323 TSecr under delayed ACKs) would carry. The paper's
+	// Figure 6(a) contrasts RTT sampling built on this (biased by the full
+	// ACK delay) against the corrected estimate built on EchoDeparture+Δt⋆.
+	FirstEchoDeparture sim.Time
+	// DeliveryRate is the receiver-computed windowed-max delivery rate in
+	// bits per second (bw of Eq. 3), zero when unknown.
+	DeliveryRate uint64
+	// LossRatePermille is the receiver-computed data-path loss rate ρ in
+	// 1/1000 units.
+	LossRatePermille uint16
+	// ReportedThrough is the packet number below which UnackedBlocks is
+	// complete: every PKT.SEQ < ReportedThrough that is not inside a listed
+	// gap was received. The sender may release those segments even when
+	// their acked blocks were crowded out of the budget.
+	ReportedThrough uint64
+	// AckedBlocks lists contiguous received PKT.SEQ ranges (newest first
+	// priority when truncated).
+	AckedBlocks []seqspace.Range
+	// UnackedBlocks lists PKT.SEQ gaps believed lost (oldest first priority
+	// when truncated).
+	UnackedBlocks []seqspace.Range
+}
+
+// Packet is one transport PDU.
+type Packet struct {
+	Type    Type
+	ConnID  uint32
+	PktSeq  uint64   // packet number; fresh for every transmission
+	SentAt  sim.Time // departure timestamp (sender clock)
+	IsProbe bool     // marks bandwidth-probe data (excluded from app goodput)
+
+	// Data fields (TypeData, and initial-data-bearing SYN).
+	Seq     uint64 // byte offset of Payload within the stream
+	Payload []byte
+	Retrans bool // retransmission flag (diagnostics only)
+	FIN     bool // last segment of the stream
+	// OldestPktSeq is the sender's oldest outstanding packet number: every
+	// PKT.SEQ below it has either been acknowledged or superseded by a
+	// retransmission, so the receiver may discard its loss-tracking state
+	// below this floor (holes under it can never fill).
+	OldestPktSeq uint64
+
+	// Ack fields (TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK).
+	Ack      *AckInfo
+	IACK     IACKKind
+	RTTMinNS int64 // IACKRTTSync payload: sender's RTTmin estimate in ns
+	// AckOldestPktSeq mirrors OldestPktSeq on sender-originated IACKs
+	// (state sync, §4.4): it keeps the receiver's loss-state floor fresh
+	// even when the data path is momentarily idle or window-starved.
+	AckOldestPktSeq uint64
+}
+
+// overheadEthIPUDP approximates Ethernet + IPv4 + UDP framing so WireSize
+// matches what the paper puts on air (64-byte ACKs, 1518-byte data frames).
+const overheadEthIPUDP = 18 + 20 + 8
+
+const commonHeaderLen = 1 + 1 + 4 + 8 + 8 // version, type, connid, pktseq, sentat
+
+// ackFixedLen is the encoded size of AckInfo minus variable blocks.
+const ackFixedLen = 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 2 + 1 + 1
+
+// EncodedLen returns the body+header length of the transport PDU in bytes
+// (excluding Ethernet/IP/UDP framing).
+func (p *Packet) EncodedLen() int {
+	n := commonHeaderLen
+	switch p.Type {
+	case TypeData, TypeSYN:
+		n += 8 + 8 + 2 + 1 + len(p.Payload) // seq, oldest, paylen, flags
+	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
+		n += 1 + 8 + 8 + 1 // iack kind, rttmin, oldest, has-ack marker
+		if p.Ack != nil {
+			n += ackFixedLen + 16*(len(p.Ack.AckedBlocks)+len(p.Ack.UnackedBlocks))
+		}
+	case TypeFIN:
+		n += 8 // final seq
+	}
+	return n
+}
+
+// WireSize returns the full on-air frame size in bytes including layer-2/3/4
+// framing; the MAC simulator charges airtime for this size.
+func (p *Packet) WireSize() int { return p.EncodedLen() + overheadEthIPUDP }
+
+// IsAck reports whether the packet carries acknowledgment feedback.
+func (p *Packet) IsAck() bool {
+	switch p.Type {
+	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
+		return true
+	}
+	return false
+}
+
+// errTruncated is returned when a buffer is too short for the declared
+// structure.
+var errTruncated = errors.New("packet: truncated")
+
+// Marshal encodes the packet to wire bytes.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.EncodedLen())
+	buf = append(buf, Version, byte(p.Type))
+	buf = binary.BigEndian.AppendUint32(buf, p.ConnID)
+	buf = binary.BigEndian.AppendUint64(buf, p.PktSeq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SentAt))
+	switch p.Type {
+	case TypeData, TypeSYN:
+		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+		buf = binary.BigEndian.AppendUint64(buf, p.OldestPktSeq)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+		buf = append(buf, p.flags())
+		buf = append(buf, p.Payload...)
+	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
+		buf = append(buf, byte(p.IACK))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(p.RTTMinNS))
+		buf = binary.BigEndian.AppendUint64(buf, p.AckOldestPktSeq)
+		if p.Ack == nil {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			buf = p.Ack.marshal(buf)
+		}
+	case TypeFIN:
+		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	}
+	return buf
+}
+
+func (p *Packet) flags() byte {
+	var f byte
+	if p.Retrans {
+		f |= 1
+	}
+	if p.FIN {
+		f |= 2
+	}
+	if p.IsProbe {
+		f |= 4
+	}
+	return f
+}
+
+func (a *AckInfo) marshal(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, a.CumAck)
+	buf = binary.BigEndian.AppendUint64(buf, a.CumPktSeq)
+	buf = binary.BigEndian.AppendUint64(buf, a.LargestPktSeq)
+	buf = binary.BigEndian.AppendUint64(buf, a.AckSeq)
+	buf = binary.BigEndian.AppendUint64(buf, a.Window)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.AckDelay))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.EchoDeparture))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.FirstEchoDeparture))
+	buf = binary.BigEndian.AppendUint64(buf, a.DeliveryRate)
+	buf = binary.BigEndian.AppendUint64(buf, a.ReportedThrough)
+	buf = binary.BigEndian.AppendUint16(buf, a.LossRatePermille)
+	buf = append(buf, byte(len(a.AckedBlocks)), byte(len(a.UnackedBlocks)))
+	for _, r := range a.AckedBlocks {
+		buf = binary.BigEndian.AppendUint64(buf, r.Lo)
+		buf = binary.BigEndian.AppendUint64(buf, r.Hi)
+	}
+	for _, r := range a.UnackedBlocks {
+		buf = binary.BigEndian.AppendUint64(buf, r.Lo)
+		buf = binary.BigEndian.AppendUint64(buf, r.Hi)
+	}
+	return buf
+}
+
+// Unmarshal decodes a packet from wire bytes.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < commonHeaderLen {
+		return nil, errTruncated
+	}
+	if buf[0] != Version {
+		return nil, fmt.Errorf("packet: unknown version %d", buf[0])
+	}
+	p := &Packet{Type: Type(buf[1])}
+	p.ConnID = binary.BigEndian.Uint32(buf[2:])
+	p.PktSeq = binary.BigEndian.Uint64(buf[6:])
+	p.SentAt = sim.Time(binary.BigEndian.Uint64(buf[14:]))
+	body := buf[commonHeaderLen:]
+	switch p.Type {
+	case TypeData, TypeSYN:
+		if len(body) < 19 {
+			return nil, errTruncated
+		}
+		p.Seq = binary.BigEndian.Uint64(body)
+		p.OldestPktSeq = binary.BigEndian.Uint64(body[8:])
+		plen := int(binary.BigEndian.Uint16(body[16:]))
+		f := body[18]
+		p.Retrans = f&1 != 0
+		p.FIN = f&2 != 0
+		p.IsProbe = f&4 != 0
+		body = body[19:]
+		if len(body) < plen {
+			return nil, errTruncated
+		}
+		if plen > 0 {
+			p.Payload = append([]byte(nil), body[:plen]...)
+		}
+	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
+		if len(body) < 18 {
+			return nil, errTruncated
+		}
+		p.IACK = IACKKind(body[0])
+		p.RTTMinNS = int64(binary.BigEndian.Uint64(body[1:]))
+		p.AckOldestPktSeq = binary.BigEndian.Uint64(body[9:])
+		has := body[17]
+		body = body[18:]
+		if has == 1 {
+			a, rest, err := unmarshalAck(body)
+			if err != nil {
+				return nil, err
+			}
+			p.Ack = a
+			body = rest
+		}
+		_ = body
+	case TypeFIN:
+		if len(body) < 8 {
+			return nil, errTruncated
+		}
+		p.Seq = binary.BigEndian.Uint64(body)
+	default:
+		return nil, fmt.Errorf("packet: unknown type %d", buf[1])
+	}
+	return p, nil
+}
+
+func unmarshalAck(body []byte) (*AckInfo, []byte, error) {
+	if len(body) < ackFixedLen {
+		return nil, nil, errTruncated
+	}
+	a := &AckInfo{}
+	a.CumAck = binary.BigEndian.Uint64(body)
+	a.CumPktSeq = binary.BigEndian.Uint64(body[8:])
+	a.LargestPktSeq = binary.BigEndian.Uint64(body[16:])
+	a.AckSeq = binary.BigEndian.Uint64(body[24:])
+	a.Window = binary.BigEndian.Uint64(body[32:])
+	a.AckDelay = sim.Time(binary.BigEndian.Uint64(body[40:]))
+	a.EchoDeparture = sim.Time(binary.BigEndian.Uint64(body[48:]))
+	a.FirstEchoDeparture = sim.Time(binary.BigEndian.Uint64(body[56:]))
+	a.DeliveryRate = binary.BigEndian.Uint64(body[64:])
+	a.ReportedThrough = binary.BigEndian.Uint64(body[72:])
+	a.LossRatePermille = binary.BigEndian.Uint16(body[80:])
+	nAcked, nUnacked := int(body[82]), int(body[83])
+	body = body[ackFixedLen:]
+	need := 16 * (nAcked + nUnacked)
+	if len(body) < need {
+		return nil, nil, errTruncated
+	}
+	read := func(n int) []seqspace.Range {
+		if n == 0 {
+			return nil
+		}
+		out := make([]seqspace.Range, n)
+		for i := range out {
+			out[i].Lo = binary.BigEndian.Uint64(body)
+			out[i].Hi = binary.BigEndian.Uint64(body[8:])
+			body = body[16:]
+		}
+		return out
+	}
+	a.AckedBlocks = read(nAcked)
+	a.UnackedBlocks = read(nUnacked)
+	return a, body, nil
+}
+
+// MaxBlocks returns how many 16-byte blocks fit in an ACK without the frame
+// exceeding mss bytes on the wire; the TACK encoder truncates block lists to
+// this budget (paper §5.1 "limited by MSS").
+func MaxBlocks(mss int) int {
+	budget := mss - commonHeaderLen - 10 - ackFixedLen - overheadEthIPUDP
+	if budget < 0 {
+		return 0
+	}
+	n := budget / 16
+	if n > 255 {
+		n = 255 // block counts are single bytes on the wire
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package rate
+
+import "github.com/tacktp/tack/internal/sim"
+
+// DeliverySample is one delivery-rate observation over a measurement
+// interval ending at a TACK.
+type DeliverySample struct {
+	// Bytes delivered within the interval (all packets).
+	Bytes int64
+	// Elapsed is the whole interval length.
+	Elapsed sim.Time
+	// TrainBytes / TrainSpan describe the packet train: bytes excluding the
+	// first packet, over the span from first to last arrival. This removes
+	// the fencepost bias of dividing N packets by N−1 serialization gaps.
+	TrainBytes int64
+	TrainSpan  sim.Time
+	// Packets counts arrivals in the interval.
+	Packets int
+}
+
+// Bps returns the train-based delivery rate in bits per second — an
+// unbiased estimate of the bottleneck drain rate for a contiguous train.
+// Intervals with fewer than two packets yield 0 (no rate information).
+func (s DeliverySample) Bps() float64 {
+	if s.Packets < 2 || s.TrainSpan <= 0 {
+		return 0
+	}
+	return float64(s.TrainBytes) * 8 / s.TrainSpan.Seconds()
+}
+
+// IntervalBps returns bytes-over-interval throughput (includes idle time;
+// a lower bound on the path rate).
+func (s DeliverySample) IntervalBps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / s.Elapsed.Seconds()
+}
+
+// DeliveryEstimator computes per-interval delivery-rate samples at the
+// receiver and keeps the windowed maximum delivery rate ("bw" in paper
+// Eq. 3 and §5.4: a max filter over θ_filter = 5–10 RTTs).
+type DeliveryEstimator struct {
+	max        *MaxFilter
+	intervalAt sim.Time
+
+	firstAt    sim.Time
+	firstBytes int
+	lastAt     sim.Time
+	bytes      int64
+	packets    int
+
+	started    bool
+	totalBytes int64
+}
+
+// NewDeliveryEstimator returns an estimator whose max filter spans window.
+func NewDeliveryEstimator(window sim.Time) *DeliveryEstimator {
+	return &DeliveryEstimator{max: NewMaxFilter(window)}
+}
+
+// OnDeliver records bytes arriving at time now.
+func (e *DeliveryEstimator) OnDeliver(now sim.Time, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	if !e.started {
+		e.started = true
+		e.intervalAt = now
+	}
+	if e.packets == 0 {
+		e.firstAt = now
+		e.firstBytes = bytes
+	}
+	e.lastAt = now
+	e.packets++
+	e.bytes += int64(bytes)
+	e.totalBytes += int64(bytes)
+}
+
+// EndInterval closes the current measurement interval (called when a TACK
+// is emitted), folds its throughput sample into the max filter, and returns
+// the sample.
+//
+// The filtered value is the *interval throughput* (bytes over the whole
+// interval): under a shared bottleneck this measures the flow's achieved
+// share rather than the instantaneous drain rate, which keeps a
+// receiver-coordinated BBR no more aggressive than the sender-based one.
+// Degenerate intervals (fewer than two packets, or shorter than 1 ms) carry
+// no usable rate information and are skipped.
+func (e *DeliveryEstimator) EndInterval(now sim.Time) DeliverySample {
+	s := DeliverySample{
+		Bytes:      e.bytes,
+		Elapsed:    now - e.intervalAt,
+		TrainBytes: e.bytes - int64(e.firstBytes),
+		TrainSpan:  e.lastAt - e.firstAt,
+		Packets:    e.packets,
+	}
+	if s.Packets >= 2 && s.Elapsed >= sim.Millisecond {
+		if bps := s.IntervalBps(); bps > 0 {
+			e.max.Update(now, bps)
+		}
+	}
+	e.intervalAt = now
+	e.bytes = 0
+	e.packets = 0
+	e.firstBytes = 0
+	return s
+}
+
+// MaxBps returns the current windowed maximum delivery rate in bits/s.
+func (e *DeliveryEstimator) MaxBps(now sim.Time) float64 { return e.max.Get(now) }
+
+// TotalBytes returns the total bytes delivered since construction.
+func (e *DeliveryEstimator) TotalBytes() int64 { return e.totalBytes }
+
+// SetWindow adjusts the max-filter window (θ_filter), e.g. as RTT estimates
+// firm up.
+func (e *DeliveryEstimator) SetWindow(w sim.Time) { e.max.SetWindow(w) }

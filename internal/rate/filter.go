@@ -1,0 +1,121 @@
+// Package rate provides windowed extremum filters and delivery-rate
+// estimation.
+//
+// The TACK receiver estimates the path's delivery rate (bw in paper Eq. 3)
+// as a windowed maximum of per-TACK-interval delivery-rate samples; the
+// round-trip timing advancements (paper §5.2) use windowed minimum filters
+// over one-way-delay and RTT samples at both endpoints.
+package rate
+
+import "github.com/tacktp/tack/internal/sim"
+
+// sample is one timestamped observation inside a windowed filter.
+type sample struct {
+	at  sim.Time
+	val float64
+}
+
+// MaxFilter tracks the maximum observation within a sliding time window.
+// The zero value is unusable; construct with NewMaxFilter.
+type MaxFilter struct {
+	window sim.Time
+	// samples holds a monotonically decreasing deque: samples[0] is the
+	// current window maximum.
+	samples []sample
+}
+
+// NewMaxFilter returns a max filter over the given window length.
+func NewMaxFilter(window sim.Time) *MaxFilter { return &MaxFilter{window: window} }
+
+// Update folds in an observation at time now and returns the new window max.
+func (f *MaxFilter) Update(now sim.Time, v float64) float64 {
+	f.expire(now)
+	for len(f.samples) > 0 && f.samples[len(f.samples)-1].val <= v {
+		f.samples = f.samples[:len(f.samples)-1]
+	}
+	f.samples = append(f.samples, sample{at: now, val: v})
+	return f.samples[0].val
+}
+
+// Get returns the current window max, expiring stale samples first.
+// It returns 0 when no sample is live.
+func (f *MaxFilter) Get(now sim.Time) float64 {
+	f.expire(now)
+	if len(f.samples) == 0 {
+		return 0
+	}
+	return f.samples[0].val
+}
+
+// Empty reports whether the filter holds no live samples at time now.
+func (f *MaxFilter) Empty(now sim.Time) bool {
+	f.expire(now)
+	return len(f.samples) == 0
+}
+
+// SetWindow changes the window length for subsequent queries.
+func (f *MaxFilter) SetWindow(w sim.Time) { f.window = w }
+
+func (f *MaxFilter) expire(now sim.Time) {
+	cut := now - f.window
+	i := 0
+	for i < len(f.samples) && f.samples[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		f.samples = f.samples[i:]
+	}
+}
+
+// MinFilter tracks the minimum observation within a sliding time window.
+// It mirrors MaxFilter; paper §5.2 stacks one at the receiver (per-interval
+// minimum OWD) and one at the sender (minimum RTT over τ ≤ 10 s).
+type MinFilter struct {
+	window sim.Time
+	// samples holds a monotonically increasing deque: samples[0] is the
+	// current window minimum.
+	samples []sample
+}
+
+// NewMinFilter returns a min filter over the given window length.
+func NewMinFilter(window sim.Time) *MinFilter { return &MinFilter{window: window} }
+
+// Update folds in an observation at time now and returns the new window min.
+func (f *MinFilter) Update(now sim.Time, v float64) float64 {
+	f.expire(now)
+	for len(f.samples) > 0 && f.samples[len(f.samples)-1].val >= v {
+		f.samples = f.samples[:len(f.samples)-1]
+	}
+	f.samples = append(f.samples, sample{at: now, val: v})
+	return f.samples[0].val
+}
+
+// Get returns the current window min, expiring stale samples first.
+// It returns 0 when no sample is live; check Empty to disambiguate.
+func (f *MinFilter) Get(now sim.Time) float64 {
+	f.expire(now)
+	if len(f.samples) == 0 {
+		return 0
+	}
+	return f.samples[0].val
+}
+
+// Empty reports whether the filter holds no live samples at time now.
+func (f *MinFilter) Empty(now sim.Time) bool {
+	f.expire(now)
+	return len(f.samples) == 0
+}
+
+// SetWindow changes the window length for subsequent queries.
+func (f *MinFilter) SetWindow(w sim.Time) { f.window = w }
+
+func (f *MinFilter) expire(now sim.Time) {
+	cut := now - f.window
+	i := 0
+	for i < len(f.samples) && f.samples[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		f.samples = f.samples[i:]
+	}
+}

@@ -1,0 +1,90 @@
+package rate
+
+import (
+	"sort"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// QuantileFilter keeps every observation inside a sliding time window and
+// answers arbitrary percentile queries. The TACK paper's §5.2 footnote
+// notes that the minimum-RTT estimation generalizes to the x-th percentile
+// for x ∈ (0, 100]; this filter is that generalization (a windowed min is
+// Quantile(0)).
+//
+// Queries sort lazily, so the filter suits control-rate usage (per ACK or
+// per interval), not per-packet hot paths.
+type QuantileFilter struct {
+	window  sim.Time
+	samples []sample
+	sorted  []float64
+	dirty   bool
+}
+
+// NewQuantileFilter returns a filter over the given window length.
+func NewQuantileFilter(window sim.Time) *QuantileFilter {
+	return &QuantileFilter{window: window}
+}
+
+// Update folds in an observation at time now.
+func (f *QuantileFilter) Update(now sim.Time, v float64) {
+	f.expire(now)
+	f.samples = append(f.samples, sample{at: now, val: v})
+	f.dirty = true
+}
+
+// Len returns the number of live samples at time now.
+func (f *QuantileFilter) Len(now sim.Time) int {
+	f.expire(now)
+	return len(f.samples)
+}
+
+// Quantile returns the p-th percentile (p in [0,100]) of the live samples;
+// ok is false when the window is empty. Linear interpolation between
+// closest ranks.
+func (f *QuantileFilter) Quantile(now sim.Time, p float64) (float64, bool) {
+	f.expire(now)
+	n := len(f.samples)
+	if n == 0 {
+		return 0, false
+	}
+	if f.dirty {
+		f.sorted = f.sorted[:0]
+		for _, s := range f.samples {
+			f.sorted = append(f.sorted, s.val)
+		}
+		sort.Float64s(f.sorted)
+		f.dirty = false
+	}
+	if p <= 0 {
+		return f.sorted[0], true
+	}
+	if p >= 100 {
+		return f.sorted[n-1], true
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return f.sorted[n-1], true
+	}
+	return f.sorted[lo]*(1-frac) + f.sorted[lo+1]*frac, true
+}
+
+// Min is Quantile(0).
+func (f *QuantileFilter) Min(now sim.Time) (float64, bool) { return f.Quantile(now, 0) }
+
+// SetWindow changes the window length for subsequent queries.
+func (f *QuantileFilter) SetWindow(w sim.Time) { f.window = w }
+
+func (f *QuantileFilter) expire(now sim.Time) {
+	cut := now - f.window
+	i := 0
+	for i < len(f.samples) && f.samples[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		f.samples = f.samples[i:]
+		f.dirty = true
+	}
+}

@@ -1,0 +1,117 @@
+package rate
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+func TestQuantileFilterBasics(t *testing.T) {
+	f := NewQuantileFilter(sim.Second)
+	if _, ok := f.Quantile(0, 50); ok {
+		t.Fatal("empty filter should report !ok")
+	}
+	for i, v := range []float64{30, 10, 20, 40} {
+		f.Update(sim.Time(i)*sim.Millisecond, v)
+	}
+	if got, _ := f.Min(10 * sim.Millisecond); got != 10 {
+		t.Fatalf("min = %v, want 10", got)
+	}
+	if got, _ := f.Quantile(10*sim.Millisecond, 100); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if got, _ := f.Quantile(10*sim.Millisecond, 50); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if f.Len(10*sim.Millisecond) != 4 {
+		t.Fatalf("Len = %d", f.Len(10*sim.Millisecond))
+	}
+}
+
+func TestQuantileFilterExpiry(t *testing.T) {
+	f := NewQuantileFilter(10 * sim.Millisecond)
+	f.Update(0, 1)
+	f.Update(8*sim.Millisecond, 100)
+	if got, _ := f.Min(9 * sim.Millisecond); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	// The 1 expires at t=11ms.
+	if got, _ := f.Min(12 * sim.Millisecond); got != 100 {
+		t.Fatalf("min after expiry = %v, want 100", got)
+	}
+	if _, ok := f.Min(30 * sim.Millisecond); ok {
+		t.Fatal("fully expired filter should report !ok")
+	}
+}
+
+func TestQuantileAgainstMinFilter(t *testing.T) {
+	// Quantile(0) must agree with MinFilter on identical streams.
+	qf := NewQuantileFilter(50 * sim.Millisecond)
+	mf := NewMinFilter(50 * sim.Millisecond)
+	vals := []float64{9, 3, 7, 1, 8, 2, 6}
+	for i, v := range vals {
+		at := sim.Time(i*7) * sim.Millisecond
+		qf.Update(at, v)
+		mf.Update(at, v)
+		q, _ := qf.Min(at)
+		if m := mf.Get(at); q != m {
+			t.Fatalf("at %v: quantile-min %v != minfilter %v", at, q, m)
+		}
+	}
+}
+
+// Property: quantiles match a brute-force computation over live samples.
+func TestQuickQuantileMatchesBrute(t *testing.T) {
+	type obs struct {
+		DtMs uint8
+		Val  uint16
+	}
+	f := func(observations []obs, pRaw uint8) bool {
+		window := 64 * sim.Millisecond
+		qf := NewQuantileFilter(window)
+		var hist []sample
+		now := sim.Time(0)
+		p := float64(pRaw % 101)
+		for _, o := range observations {
+			now += sim.Time(o.DtMs%16) * sim.Millisecond
+			qf.Update(now, float64(o.Val))
+			hist = append(hist, sample{at: now, val: float64(o.Val)})
+			var live []float64
+			for _, h := range hist {
+				if h.at >= now-window {
+					live = append(live, h.val)
+				}
+			}
+			sort.Float64s(live)
+			want := bruteQuantile(live, p)
+			got, ok := qf.Quantile(now, p)
+			if !ok || math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,227 @@
+// Package rtt implements round-trip timing for TACK-based transports.
+//
+// Two estimators are provided, mirroring the paper's §5.2 comparison:
+//
+//   - Sampler: the legacy sender-side approach — one RTT sample per ACK,
+//     computed as ack-arrival minus data-departure. When ACKs are delayed
+//     (which TACK does aggressively) samples inherit the ACK delay, biasing
+//     RTTmin estimates upward by 8–18% in the paper's microbenchmark.
+//
+//   - ReceiverTiming + SenderTiming: the "advanced" TACK scheme. The
+//     receiver computes per-packet relative one-way delays (no clock sync
+//     needed — only variation matters), smooths them with an EWMA, picks
+//     the packet achieving the minimum smoothed OWD in each TACK interval,
+//     and echoes that packet's departure timestamp together with the TACK
+//     delay Δt⋆. The sender reconstructs RTT = t1 − t0⋆ − Δt⋆ and feeds a
+//     windowed min-filter (τ ≤ 10 s, handling route changes); a second
+//     min-filter at the receiver side is implicit in per-interval minimum
+//     selection.
+package rtt
+
+import (
+	"github.com/tacktp/tack/internal/rate"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// MinWindow is the default min-filter horizon τ (paper §5.2: τ ≤ 10 s,
+// the 10-second part handling route changes).
+const MinWindow = 10 * sim.Second
+
+// Estimate is the smoothed state shared by both estimator flavours,
+// following the RFC 6298 smoothing discipline.
+type Estimate struct {
+	srtt   sim.Time
+	rttvar sim.Time
+	min    *rate.MinFilter
+	init   bool
+	count  int
+}
+
+// NewEstimate returns an estimator with the given min-filter window
+// (0 selects MinWindow).
+func NewEstimate(window sim.Time) *Estimate {
+	if window <= 0 {
+		window = MinWindow
+	}
+	return &Estimate{min: rate.NewMinFilter(window)}
+}
+
+// Update folds in one RTT sample taken at time now.
+func (e *Estimate) Update(now sim.Time, sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	e.count++
+	e.min.Update(now, float64(sample))
+	if !e.init {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		e.init = true
+		return
+	}
+	// RFC 6298: alpha = 1/8, beta = 1/4.
+	diff := e.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + sample) / 8
+}
+
+// Smoothed returns the smoothed RTT (0 before the first sample).
+func (e *Estimate) Smoothed() sim.Time { return e.srtt }
+
+// Var returns the RTT variance estimate.
+func (e *Estimate) Var() sim.Time { return e.rttvar }
+
+// Min returns the windowed minimum RTT at time now; ok is false before the
+// first sample (or after the window empties).
+func (e *Estimate) Min(now sim.Time) (sim.Time, bool) {
+	if e.min.Empty(now) {
+		return 0, false
+	}
+	return sim.Time(e.min.Get(now)), true
+}
+
+// Samples returns how many samples were folded in.
+func (e *Estimate) Samples() int { return e.count }
+
+// RTO returns the retransmission timeout: srtt + 4·rttvar, clamped to
+// [minRTO, maxRTO]; before any sample it returns fallback.
+func (e *Estimate) RTO(minRTO, maxRTO, fallback sim.Time) sim.Time {
+	if !e.init {
+		return fallback
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}
+
+// Sampler is the legacy sender-side estimator: RTT = ackArrival − dataSent,
+// with no correction for receiver-side ACK delay.
+type Sampler struct {
+	Estimate
+}
+
+// NewSampler returns a legacy estimator with the given min window.
+func NewSampler(window sim.Time) *Sampler {
+	return &Sampler{Estimate: *NewEstimate(window)}
+}
+
+// OnAck folds in a sample for a packet sent at sentAt and acknowledged now.
+func (s *Sampler) OnAck(now, sentAt sim.Time) {
+	s.Update(now, now-sentAt)
+}
+
+// ReceiverTiming is the receiver half of the advanced scheme.
+type ReceiverTiming struct {
+	owd *rate.MinFilter // per-interval relative OWD tracking (reset per TACK)
+	// EWMA of raw per-packet OWD samples; the per-interval minimum is taken
+	// over the smoothed series to suppress single-packet jitter.
+	smooth *sim.Time
+	alpha  float64
+
+	// Best packet (by smoothed OWD) within the current TACK interval.
+	haveBest      bool
+	bestOWD       sim.Time
+	bestDeparture sim.Time
+	bestArrival   sim.Time
+}
+
+// NewReceiverTiming returns receiver timing state. alpha is the OWD EWMA
+// smoothing factor; the paper's scheme uses an EWMA over per-packet OWD
+// samples (we default to 1/8 when alpha <= 0).
+func NewReceiverTiming(alpha float64) *ReceiverTiming {
+	if alpha <= 0 {
+		alpha = 0.125
+	}
+	return &ReceiverTiming{alpha: alpha, owd: rate.NewMinFilter(MinWindow)}
+}
+
+// OnData records the arrival of a packet carrying departure timestamp
+// sentAt (sender clock). Relative OWD = arrival − departure; absolute clock
+// offset cancels out of all comparisons.
+func (r *ReceiverTiming) OnData(now, sentAt sim.Time) {
+	sample := now - sentAt
+	var smoothed sim.Time
+	if r.smooth == nil {
+		v := sample
+		r.smooth = &v
+		smoothed = sample
+	} else {
+		v := sim.Time(r.alpha*float64(sample) + (1-r.alpha)*float64(*r.smooth))
+		*r.smooth = v
+		smoothed = v
+	}
+	r.owd.Update(now, float64(smoothed))
+	if !r.haveBest || smoothed <= r.bestOWD {
+		r.haveBest = true
+		r.bestOWD = smoothed
+		r.bestDeparture = sentAt
+		r.bestArrival = now
+	}
+}
+
+// Echo is the timing payload the receiver attaches to a TACK.
+type Echo struct {
+	// Departure is t0⋆: the departure timestamp of the packet achieving the
+	// minimum smoothed OWD this interval.
+	Departure sim.Time
+	// AckDelay is Δt⋆: TACK send time minus that packet's arrival.
+	AckDelay sim.Time
+	// Valid is false when no data arrived this interval.
+	Valid bool
+}
+
+// OnAckSent closes the interval at TACK transmission time and returns the
+// echo fields to embed in the TACK.
+func (r *ReceiverTiming) OnAckSent(now sim.Time) Echo {
+	if !r.haveBest {
+		return Echo{}
+	}
+	e := Echo{Departure: r.bestDeparture, AckDelay: now - r.bestArrival, Valid: true}
+	r.haveBest = false
+	return e
+}
+
+// SmoothedOWD returns the current smoothed relative OWD and whether any
+// sample exists.
+func (r *ReceiverTiming) SmoothedOWD() (sim.Time, bool) {
+	if r.smooth == nil {
+		return 0, false
+	}
+	return *r.smooth, true
+}
+
+// MinOWD returns the windowed minimum smoothed OWD observed at time now.
+func (r *ReceiverTiming) MinOWD(now sim.Time) (sim.Time, bool) {
+	if r.owd.Empty(now) {
+		return 0, false
+	}
+	return sim.Time(r.owd.Get(now)), true
+}
+
+// SenderTiming is the sender half of the advanced scheme: it converts TACK
+// echoes into corrected RTT samples.
+type SenderTiming struct {
+	Estimate
+}
+
+// NewSenderTiming returns sender timing state with the given min window.
+func NewSenderTiming(window sim.Time) *SenderTiming {
+	return &SenderTiming{Estimate: *NewEstimate(window)}
+}
+
+// OnAck folds in the echo from a TACK arriving at time now:
+// RTT = now − t0⋆ − Δt⋆ (paper Figure 4).
+func (s *SenderTiming) OnAck(now sim.Time, e Echo) {
+	if !e.Valid {
+		return
+	}
+	s.Update(now, now-e.Departure-e.AckDelay)
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v, want 15", s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v, want 3", s.Median())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should return zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty Min/Max should be infinities")
+	}
+	if s.CDFAt(1) != 0 {
+		t.Fatal("empty CDFAt should be 0")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i)) // 1,2,3,4
+	}
+	if got := s.Percentile(50); got != 2.5 {
+		t.Fatalf("P50 = %v, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Fatalf("P100 = %v, want 4", got)
+	}
+	if got := s.Percentile(95); math.Abs(got-3.85) > 1e-9 {
+		t.Fatalf("P95 = %v, want 3.85", got)
+	}
+}
+
+func TestAddAfterPercentileQuery(t *testing.T) {
+	s := NewSummary()
+	s.Add(10)
+	_ = s.Median() // forces sort
+	s.Add(0)
+	if got := s.Min(); got != 0 {
+		t.Fatalf("Min after re-add = %v, want 0", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	cdf := s.CDF()
+	if len(cdf) != 4 {
+		t.Fatalf("CDF has %d points, want 4", len(cdf))
+	}
+	if cdf[3].Fraction != 1 {
+		t.Fatalf("last CDF fraction = %v, want 1", cdf[3].Fraction)
+	}
+	if got := s.CDFAt(2); got != 0.5 {
+		t.Fatalf("CDFAt(2) = %v, want 0.5", got)
+	}
+	if got := s.CDFAt(0); got != 0 {
+		t.Fatalf("CDFAt(0) = %v, want 0", got)
+	}
+	if got := s.CDFAt(10); got != 1 {
+		t.Fatalf("CDFAt(10) = %v, want 1", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA should be uninitialized")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first Update = %v, want 10 (initialization)", got)
+	}
+	if got := e.Update(20); got != 15 {
+		t.Fatalf("second Update = %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Fatalf("Value = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Link", "Goodput")
+	tb.AddRow("802.11n", "198")
+	tb.AddRowf("802.11ac", 556)
+	out := tb.String()
+	if !strings.Contains(out, "802.11ac") || !strings.Contains(out, "556") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Mbps(54e6); got != "54.00" {
+		t.Fatalf("Mbps = %q", got)
+	}
+	if got := Pct(0.905); got != "90.5%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewSummary()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDFAt is a nondecreasing function matching sorted rank.
+func TestQuickCDFMatchesRank(t *testing.T) {
+	f := func(vals []float64, probe float64) bool {
+		s := NewSummary()
+		clean := vals[:0]
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 || math.IsNaN(probe) {
+			return true
+		}
+		sort.Float64s(clean)
+		n := 0
+		for _, v := range clean {
+			if v <= probe {
+				n++
+			}
+		}
+		want := float64(n) / float64(len(clean))
+		return math.Abs(s.CDFAt(probe)-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package topo composes network topologies and wires transport endpoints
+// over them. It provides the three path shapes of the paper's evaluation:
+//
+//   - WLAN: two stations contending on one 802.11 medium (§6.3) — the
+//     forward data path and the reverse ACK path share the channel, which
+//     is precisely where TACK's ACK reduction pays off.
+//   - WAN: a duplex wired emulated link (§6.6) with rate/delay/loss knobs.
+//   - Hybrid: STA ↔ AP over 802.11 plus AP ↔ server over the emulated WAN
+//     (§6.5, Figure 12).
+package topo
+
+import (
+	"github.com/tacktp/tack/internal/mac"
+	"github.com/tacktp/tack/internal/netem"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/phy"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// Path is a duplex packet conduit between a client side (A) and a server
+// side (B).
+type Path struct {
+	// SendA injects a packet at the A (client/sender) side toward B.
+	SendA func(*packet.Packet)
+	// SendB injects a packet at the B side toward A.
+	SendB func(*packet.Packet)
+	// DeliverA is invoked for packets arriving at A. Set before traffic.
+	DeliverA func(*packet.Packet)
+	// DeliverB is invoked for packets arriving at B.
+	DeliverB func(*packet.Packet)
+}
+
+// WLANConfig parameterizes a WLAN path.
+type WLANConfig struct {
+	Standard phy.Standard
+	// PER is an optional per-MPDU error rate.
+	PER float64
+	// QueueFrames bounds each station's MAC queue. Zero selects a deep
+	// default (256k frames): for a transport endpoint the MAC queue models
+	// the local driver/qdisc, which backpressures the stack rather than
+	// dropping — congestion control, not tail drop, bounds its depth.
+	QueueFrames int
+}
+
+func (c WLANConfig) queueFrames() int {
+	if c.QueueFrames > 0 {
+		return c.QueueFrames
+	}
+	return 1 << 18
+}
+
+// WLANPath builds a two-station 802.11 path. Returns the path and the
+// medium for MAC-level statistics.
+func WLANPath(loop *sim.Loop, cfg WLANConfig) (*Path, *mac.Medium) {
+	m := mac.NewMedium(loop, phy.Get(cfg.Standard))
+	m.PER = cfg.PER
+	sta := m.AddStation("sta", cfg.queueFrames())
+	ap := m.AddStation("ap", cfg.queueFrames())
+	p := &Path{}
+	sta.Receive = func(f *mac.Frame) {
+		if p.DeliverA != nil {
+			p.DeliverA(f.Payload.(*packet.Packet))
+		}
+	}
+	ap.Receive = func(f *mac.Frame) {
+		if p.DeliverB != nil {
+			p.DeliverB(f.Payload.(*packet.Packet))
+		}
+	}
+	p.SendA = func(pkt *packet.Packet) { sta.Send(ap, pkt.WireSize(), pkt) }
+	p.SendB = func(pkt *packet.Packet) { ap.Send(sta, pkt.WireSize(), pkt) }
+	return p, m
+}
+
+// WANConfig parameterizes a wired duplex path: data direction (A→B) and
+// ACK direction (B→A).
+type WANConfig struct {
+	RateBps    float64
+	OWD        sim.Time // one-way propagation delay
+	QueueBytes int
+	DataLoss   float64 // ρ, applied A→B
+	AckLoss    float64 // ρ′, applied B→A
+	// ReorderRate / ReorderDelay inject reordering on the data direction
+	// (paper §7 "handling reordering").
+	ReorderRate  float64
+	ReorderDelay sim.Time
+}
+
+// links returns the per-direction netem configs for the WAN.
+func (c WANConfig) links() (fwd, rev netem.Config) {
+	fwd, rev = netem.Symmetric(c.RateBps, c.OWD, c.QueueBytes, c.DataLoss, c.AckLoss)
+	fwd.ReorderRate = c.ReorderRate
+	fwd.ReorderDelay = c.ReorderDelay
+	return fwd, rev
+}
+
+// WANPath builds a duplex emulated wired path. Returns the path plus both
+// directional links for statistics.
+func WANPath(loop *sim.Loop, cfg WANConfig) (*Path, *netem.Link, *netem.Link) {
+	p := &Path{}
+	fwd, rev := cfg.links()
+	aToB := netem.NewLink(loop, fwd, func(pl any, n int) {
+		if p.DeliverB != nil {
+			p.DeliverB(pl.(*packet.Packet))
+		}
+	})
+	bToA := netem.NewLink(loop, rev, func(pl any, n int) {
+		if p.DeliverA != nil {
+			p.DeliverA(pl.(*packet.Packet))
+		}
+	})
+	p.SendA = func(pkt *packet.Packet) { aToB.Send(pkt, pkt.WireSize()) }
+	p.SendB = func(pkt *packet.Packet) { bToA.Send(pkt, pkt.WireSize()) }
+	return p, aToB, bToA
+}
+
+// HybridPath chains a WLAN hop (client ↔ AP) and a WAN hop (AP ↔ server),
+// mirroring the paper's Figure 12. Packets traverse both in each direction.
+func HybridPath(loop *sim.Loop, wlan WLANConfig, wan WANConfig) (*Path, *mac.Medium, *netem.Link, *netem.Link) {
+	p := &Path{}
+	m := mac.NewMedium(loop, phy.Get(wlan.Standard))
+	m.PER = wlan.PER
+	sta := m.AddStation("sta", wlan.queueFrames())
+	ap := m.AddStation("ap", wlan.queueFrames())
+
+	fwd, rev := wan.links()
+	apToSrv := netem.NewLink(loop, fwd, func(pl any, n int) {
+		if p.DeliverB != nil {
+			p.DeliverB(pl.(*packet.Packet))
+		}
+	})
+	srvToAp := netem.NewLink(loop, rev, func(pl any, n int) {
+		// WAN → AP → WLAN → client.
+		pkt := pl.(*packet.Packet)
+		ap.Send(sta, pkt.WireSize(), pkt)
+	})
+
+	// Client → WLAN → AP → WAN → server.
+	ap.Receive = func(f *mac.Frame) {
+		pkt := f.Payload.(*packet.Packet)
+		apToSrv.Send(pkt, pkt.WireSize())
+	}
+	sta.Receive = func(f *mac.Frame) {
+		if p.DeliverA != nil {
+			p.DeliverA(f.Payload.(*packet.Packet))
+		}
+	}
+	p.SendA = func(pkt *packet.Packet) { sta.Send(ap, pkt.WireSize(), pkt) }
+	p.SendB = func(pkt *packet.Packet) { srvToAp.Send(pkt, pkt.WireSize()) }
+	return p, m, apToSrv, srvToAp
+}
+
+// Flow couples a transport Sender and Receiver over a Path (sender at A).
+type Flow struct {
+	Sender   *transport.Sender
+	Receiver *transport.Receiver
+}
+
+// NewFlow attaches a sender (A side) and receiver (B side) built from cfg
+// to the path. Call Start to begin.
+func NewFlow(loop *sim.Loop, cfg transport.Config, p *Path) (*Flow, error) {
+	snd, err := transport.NewSender(loop, cfg, func(pkt *packet.Packet) { p.SendA(pkt) })
+	if err != nil {
+		return nil, err
+	}
+	rcv := transport.NewReceiver(loop, cfg, func(pkt *packet.Packet) { p.SendB(pkt) })
+	prevA, prevB := p.DeliverA, p.DeliverB
+	p.DeliverA = func(pkt *packet.Packet) {
+		if pkt.ConnID == cfg.ConnID {
+			snd.OnPacket(pkt)
+		} else if prevA != nil {
+			prevA(pkt)
+		}
+	}
+	p.DeliverB = func(pkt *packet.Packet) {
+		if pkt.ConnID == cfg.ConnID {
+			rcv.OnPacket(pkt)
+		} else if prevB != nil {
+			prevB(pkt)
+		}
+	}
+	return &Flow{Sender: snd, Receiver: rcv}, nil
+}
+
+// Start begins the flow's handshake.
+func (f *Flow) Start() { f.Sender.Start() }
+
+// ReversedFlow attaches a sender at the B side and receiver at the A side
+// (for bidirectional workloads and reverse cross traffic).
+func ReversedFlow(loop *sim.Loop, cfg transport.Config, p *Path) (*Flow, error) {
+	snd, err := transport.NewSender(loop, cfg, func(pkt *packet.Packet) { p.SendB(pkt) })
+	if err != nil {
+		return nil, err
+	}
+	rcv := transport.NewReceiver(loop, cfg, func(pkt *packet.Packet) { p.SendA(pkt) })
+	prevA, prevB := p.DeliverA, p.DeliverB
+	p.DeliverB = func(pkt *packet.Packet) {
+		if pkt.ConnID == cfg.ConnID {
+			snd.OnPacket(pkt)
+		} else if prevB != nil {
+			prevB(pkt)
+		}
+	}
+	p.DeliverA = func(pkt *packet.Packet) {
+		if pkt.ConnID == cfg.ConnID {
+			rcv.OnPacket(pkt)
+		} else if prevA != nil {
+			prevA(pkt)
+		}
+	}
+	return &Flow{Sender: snd, Receiver: rcv}, nil
+}

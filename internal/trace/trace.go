@@ -1,0 +1,127 @@
+// Package trace provides time-series instrumentation for simulated flows:
+// a Sampler polls arbitrary probes on a fixed virtual-time cadence and
+// renders aligned series, the tooling behind time-course outputs like the
+// paper's Figure 6(a) RTTmin tracking plot.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Probe returns one metric observation; ok=false records a gap (rendered
+// blank) rather than a zero.
+type Probe func() (value float64, ok bool)
+
+// Series is one sampled metric.
+type Series struct {
+	Name   string
+	Unit   string
+	probe  Probe
+	points []point
+}
+
+type point struct {
+	at  sim.Time
+	val float64
+	ok  bool
+}
+
+// Values returns the sampled values (gaps omitted).
+func (s *Series) Values() []float64 {
+	out := make([]float64, 0, len(s.points))
+	for _, p := range s.points {
+		if p.ok {
+			out = append(out, p.val)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent valid observation.
+func (s *Series) Last() (float64, bool) {
+	for i := len(s.points) - 1; i >= 0; i-- {
+		if s.points[i].ok {
+			return s.points[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Sampler polls registered probes every interval of virtual time.
+type Sampler struct {
+	loop     *sim.Loop
+	interval sim.Time
+	series   []*Series
+	times    []sim.Time
+	running  bool
+}
+
+// NewSampler returns a sampler on loop with the given cadence (minimum
+// 1 ms to bound event volume).
+func NewSampler(loop *sim.Loop, interval sim.Time) *Sampler {
+	if interval < sim.Millisecond {
+		interval = sim.Millisecond
+	}
+	return &Sampler{loop: loop, interval: interval}
+}
+
+// Add registers a named probe and returns its series.
+func (s *Sampler) Add(name, unit string, probe Probe) *Series {
+	sr := &Series{Name: name, Unit: unit, probe: probe}
+	s.series = append(s.series, sr)
+	return sr
+}
+
+// Start begins sampling (idempotent).
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	var tick func()
+	tick = func() {
+		s.times = append(s.times, s.loop.Now())
+		for _, sr := range s.series {
+			v, ok := sr.probe()
+			sr.points = append(sr.points, point{at: s.loop.Now(), val: v, ok: ok})
+		}
+		s.loop.After(s.interval, tick)
+	}
+	s.loop.After(0, tick)
+}
+
+// Len returns the number of sampling instants so far.
+func (s *Sampler) Len() int { return len(s.times) }
+
+// Table renders the collected series as an aligned text table, emitting
+// every step-th sample (step <= 1 emits all).
+func (s *Sampler) Table(step int) string {
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "t")
+	for _, sr := range s.series {
+		label := sr.Name
+		if sr.Unit != "" {
+			label += " (" + sr.Unit + ")"
+		}
+		fmt.Fprintf(&b, "  %-16s", label)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < len(s.times); i += step {
+		fmt.Fprintf(&b, "%-12s", s.times[i].String())
+		for _, sr := range s.series {
+			if i < len(sr.points) && sr.points[i].ok {
+				fmt.Fprintf(&b, "  %-16.4g", sr.points[i].val)
+			} else {
+				fmt.Fprintf(&b, "  %-16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+func TestSamplerCollectsOnCadence(t *testing.T) {
+	loop := sim.NewLoop(1)
+	s := NewSampler(loop, 10*sim.Millisecond)
+	n := 0.0
+	sr := s.Add("count", "", func() (float64, bool) { n++; return n, true })
+	s.Start()
+	loop.RunUntil(55 * sim.Millisecond)
+	// Samples at 0,10,...,50 ms = 6 instants.
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	vals := sr.Values()
+	if len(vals) != 6 || vals[0] != 1 || vals[5] != 6 {
+		t.Fatalf("values = %v", vals)
+	}
+	if last, ok := sr.Last(); !ok || last != 6 {
+		t.Fatalf("Last = %v,%v", last, ok)
+	}
+}
+
+func TestSamplerGaps(t *testing.T) {
+	loop := sim.NewLoop(1)
+	s := NewSampler(loop, 10*sim.Millisecond)
+	i := 0
+	sr := s.Add("gappy", "ms", func() (float64, bool) {
+		i++
+		return float64(i), i%2 == 0 // odd samples are gaps
+	})
+	s.Start()
+	loop.RunUntil(45 * sim.Millisecond)
+	if got := len(sr.Values()); got != 2 {
+		t.Fatalf("valid values = %d, want 2", got)
+	}
+	out := s.Table(1)
+	if !strings.Contains(out, "-") {
+		t.Fatalf("gaps not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "gappy (ms)") {
+		t.Fatalf("unit label missing:\n%s", out)
+	}
+}
+
+func TestSamplerStartIdempotent(t *testing.T) {
+	loop := sim.NewLoop(1)
+	s := NewSampler(loop, 10*sim.Millisecond)
+	s.Add("x", "", func() (float64, bool) { return 1, true })
+	s.Start()
+	s.Start() // must not double the cadence
+	loop.RunUntil(35 * sim.Millisecond)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (single cadence)", s.Len())
+	}
+}
+
+func TestSamplerMinimumInterval(t *testing.T) {
+	loop := sim.NewLoop(1)
+	s := NewSampler(loop, 0)
+	s.Add("x", "", func() (float64, bool) { return 1, true })
+	s.Start()
+	loop.RunUntil(5 * sim.Millisecond)
+	if s.Len() > 6 {
+		t.Fatalf("interval floor not applied: %d samples in 5ms", s.Len())
+	}
+}
+
+func TestTableStep(t *testing.T) {
+	loop := sim.NewLoop(1)
+	s := NewSampler(loop, 10*sim.Millisecond)
+	s.Add("x", "", func() (float64, bool) { return 3.5, true })
+	s.Start()
+	loop.RunUntil(95 * sim.Millisecond)
+	all := strings.Count(s.Table(1), "\n")
+	every5 := strings.Count(s.Table(5), "\n")
+	if all <= every5 {
+		t.Fatalf("step did not reduce rows: %d vs %d", all, every5)
+	}
+	if !strings.Contains(s.Table(0), "3.5") {
+		t.Fatal("step<1 should behave as 1 and include values")
+	}
+}
+
+func TestSeriesLastEmpty(t *testing.T) {
+	sr := &Series{Name: "e"}
+	if _, ok := sr.Last(); ok {
+		t.Fatal("empty series Last should be !ok")
+	}
+}

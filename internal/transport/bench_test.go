@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/tacktp/tack/internal/netem"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// benchTransfer measures the simulator throughput of a full 8 MiB transfer
+// (events per wall-second is the interesting number; b.N scales repeats).
+func benchTransfer(b *testing.B, cfg Config, loss float64) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop(int64(i + 1))
+		var snd *Sender
+		var rcv *Receiver
+		fwdCfg, revCfg := netem.Symmetric(100e6, 20*sim.Millisecond, 0, loss, 0)
+		fwd := netem.NewLink(loop, fwdCfg, func(pl any, n int) { rcv.OnPacket(pl.(*packet.Packet)) })
+		rev := netem.NewLink(loop, revCfg, func(pl any, n int) { snd.OnPacket(pl.(*packet.Packet)) })
+		var err error
+		cfg.TransferBytes = 8 << 20
+		snd, err = NewSender(loop, cfg, func(p *packet.Packet) { fwd.Send(p, p.WireSize()) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcv = NewReceiver(loop, cfg, func(p *packet.Packet) { rev.Send(p, p.WireSize()) })
+		snd.Start()
+		loop.RunUntil(60 * sim.Second)
+		if !snd.Done() {
+			b.Fatalf("transfer incomplete: %d bytes acked", snd.CumAcked())
+		}
+		b.SetBytes(8 << 20)
+	}
+}
+
+// BenchmarkTransferTACKClean measures a clean-path TCP-TACK transfer.
+func BenchmarkTransferTACKClean(b *testing.B) {
+	benchTransfer(b, Config{Mode: ModeTACK, RichTACK: true}, 0)
+}
+
+// BenchmarkTransferTACKLossy measures a 1%-loss TCP-TACK transfer
+// (exercises IACK recovery and rich TACK repetition).
+func BenchmarkTransferTACKLossy(b *testing.B) {
+	benchTransfer(b, Config{Mode: ModeTACK, RichTACK: true}, 0.01)
+}
+
+// BenchmarkTransferLegacyClean measures the legacy-TCP baseline.
+func BenchmarkTransferLegacyClean(b *testing.B) {
+	benchTransfer(b, Config{Mode: ModeLegacy}, 0)
+}
+
+// BenchmarkTransferLegacyLossy measures legacy SACK/FACK recovery.
+func BenchmarkTransferLegacyLossy(b *testing.B) {
+	benchTransfer(b, Config{Mode: ModeLegacy}, 0.01)
+}

@@ -1,0 +1,525 @@
+package transport
+
+import (
+	"github.com/tacktp/tack/internal/ackpolicy"
+	"github.com/tacktp/tack/internal/buffer"
+	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/rate"
+	"github.com/tacktp/tack/internal/rtt"
+	"github.com/tacktp/tack/internal/seqspace"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stats"
+)
+
+// Receiver is the receiving half of a connection.
+type Receiver struct {
+	loop *sim.Loop
+	cfg  Config
+	out  Output
+
+	buf    *buffer.ReceiveBuffer
+	policy ackpolicy.Policy
+	loss   *core.LossTracker
+	budget *core.BlockBudget
+	window *core.WindowMonitor
+	timing *rtt.ReceiverTiming
+	deliv  *rate.DeliveryEstimator
+
+	// PKT.SEQ → byte-range mapping so cumPktSeq can be derived and dup data
+	// recognized.
+	cumPktSeq uint64 // all packet numbers < this are accounted for
+
+	// Synced state from the sender.
+	rttMin   sim.Time
+	rhoPrime float64 // ACK-path loss rate synced from sender
+
+	ackSeq     uint64 // acknowledgment sequence numbers (for ρ′ at sender)
+	nextPktSeq uint64
+
+	// Legacy-mode echo state: departure timestamp of the first packet that
+	// triggered the pending (delayed) ack.
+	legacyEchoDeparture sim.Time
+	legacyEchoValid     bool
+
+	lastRho      float64  // last interval loss rate
+	lastLossIACK sim.Time // rate limit: one loss IACK per settle delay
+	pktFloor     uint64   // sender's oldest outstanding packet number
+
+	// Adaptive settle-delay state (§7 future work).
+	settleScale float64
+	lastAdaptAt sim.Time
+	lastDupSeen int
+
+	ackTimer    *sim.Timer
+	settleTimer *sim.Timer
+
+	// Stats and instrumentation.
+	Stats ReceiverStats
+	// OWD collects per-packet one-way delays (sim clock is shared, so these
+	// are true OWDs) for latency reporting.
+	OWD *stats.Summary
+	// BlockedSamples records receive-buffer HoLB volume at each ack
+	// (Figure 5(a)'s metric).
+	BlockedSamples *stats.Summary
+
+	// OnComplete fires once when a bounded stream has fully arrived.
+	OnComplete func()
+	completed  bool
+}
+
+// NewReceiver builds the receiving half. Packets are emitted through out.
+func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
+	cfg = cfg.withDefaults()
+	r := &Receiver{
+		loop:           loop,
+		cfg:            cfg,
+		out:            out,
+		buf:            buffer.NewReceiveBuffer(cfg.RecvBuf),
+		loss:           core.NewLossTracker(),
+		budget:         core.NewBlockBudget(cfg.Params),
+		window:         core.NewWindowMonitor(cfg.RecvBuf),
+		timing:         rtt.NewReceiverTiming(0),
+		deliv:          rate.NewDeliveryEstimator(sim.Second),
+		OWD:            stats.NewSummary(),
+		BlockedSamples: stats.NewSummary(),
+	}
+	if cfg.AckPolicy != nil {
+		r.policy = cfg.AckPolicy
+	} else if cfg.Mode == ModeTACK {
+		p := cfg.Params
+		r.policy = ackpolicy.NewTACK(p.Beta, p.L)
+	} else {
+		r.policy = ackpolicy.NewDelayed(40 * sim.Millisecond)
+	}
+	r.ackTimer = sim.NewTimer(loop, r.onAckTimer)
+	r.settleTimer = sim.NewTimer(loop, r.onSettleTimer)
+	return r
+}
+
+// Policy returns the acknowledgment discipline in force.
+func (r *Receiver) Policy() ackpolicy.Policy { return r.policy }
+
+// Delivered returns the in-order bytes handed to the application.
+func (r *Receiver) Delivered() int64 { return int64(r.buf.Delivered()) }
+
+// Buffer exposes the reassembly buffer (experiments sample HoLB state).
+func (r *Receiver) Buffer() *buffer.ReceiveBuffer { return r.buf }
+
+// Read consumes up to n in-order bytes when AutoDrain is off.
+func (r *Receiver) Read(n int) int {
+	got := r.buf.Read(n)
+	if got > 0 {
+		r.Stats.BytesDelivered += int64(got)
+		r.maybeWindowIACK()
+	}
+	r.checkComplete()
+	return got
+}
+
+// Complete reports whether a bounded stream fully arrived and drained.
+func (r *Receiver) Complete() bool { return r.buf.Complete() }
+
+// settleDelay returns the IACK reordering settle delay: the configured
+// RTTmin/SettleFraction baseline, scaled up when AdaptiveSettle detects
+// spurious retransmissions (duplicates imply reordering was declared loss).
+func (r *Receiver) settleDelay() sim.Time {
+	base := 5 * sim.Millisecond
+	if r.rttMin > 0 {
+		base = r.rttMin / sim.Time(r.cfg.Params.SettleFraction)
+	}
+	if !r.cfg.AdaptiveSettle {
+		return base
+	}
+	if r.settleScale < 1 {
+		r.settleScale = 1
+	}
+	return sim.Time(float64(base) * r.settleScale)
+}
+
+// adaptSettle reviews the duplicate count once per RTT-scale interval and
+// steers the settle-delay scale: up 1.5x per dirty interval (clamped at 4x,
+// one full RTTmin), down 10% per clean interval.
+func (r *Receiver) adaptSettle(now sim.Time) {
+	if !r.cfg.AdaptiveSettle {
+		return
+	}
+	interval := r.rttMin
+	if interval <= 0 {
+		interval = 100 * sim.Millisecond
+	}
+	if now-r.lastAdaptAt < interval {
+		return
+	}
+	r.lastAdaptAt = now
+	dups := r.Stats.DupPackets - r.lastDupSeen
+	r.lastDupSeen = r.Stats.DupPackets
+	if r.settleScale < 1 {
+		r.settleScale = 1
+	}
+	if dups > 0 {
+		r.settleScale *= 1.5
+		if r.settleScale > 4 {
+			r.settleScale = 4
+		}
+	} else {
+		r.settleScale *= 0.9
+		if r.settleScale < 1 {
+			r.settleScale = 1
+		}
+	}
+}
+
+// OnPacket dispatches an arriving packet to the receiver half.
+func (r *Receiver) OnPacket(p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeSYN:
+		r.onSYN(p)
+	case packet.TypeData:
+		r.onData(p)
+	case packet.TypeIACK:
+		r.onSenderIACK(p)
+	case packet.TypeFIN:
+		r.buf.OnFIN(p.Seq)
+		r.sendAck(packet.TypeFINACK, packet.IACKKind(0), nil)
+	}
+}
+
+func (r *Receiver) onSYN(p *packet.Packet) {
+	r.out(&packet.Packet{
+		Type: packet.TypeSYNACK, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq,
+		SentAt: r.loop.Now(),
+		Ack: &packet.AckInfo{
+			EchoDeparture: p.SentAt,
+			Window:        r.buf.Window(),
+			AckSeq:        r.ackSeq,
+		},
+	})
+	r.nextPktSeq++
+	r.ackSeq++
+}
+
+// updateFloor advances the sender-advertised oldest-outstanding floor and
+// compacts loss state below it.
+func (r *Receiver) updateFloor(oldest uint64) {
+	if oldest <= r.pktFloor {
+		return
+	}
+	r.pktFloor = oldest
+	r.loss.Compact(r.pktFloor)
+	if r.cumPktSeq < r.pktFloor {
+		r.cumPktSeq = r.pktFloor
+	}
+}
+
+// onSenderIACK handles sender-originated IACKs (handshake completion and
+// RTTmin / oldest-outstanding sync).
+func (r *Receiver) onSenderIACK(p *packet.Packet) {
+	if r.cfg.Mode == ModeTACK {
+		r.updateFloor(p.AckOldestPktSeq)
+	}
+	switch p.IACK {
+	case packet.IACKHandshake, packet.IACKRTTSync:
+		if p.RTTMinNS > 0 {
+			r.rttMin = sim.Time(p.RTTMinNS)
+			r.policy.Update(r.deliv.MaxBps(r.loop.Now()), r.rttMin)
+			// θ_filter for the delivery max filter: ~10 RTTs, floored.
+			w := 10 * r.rttMin
+			if w < 500*sim.Millisecond {
+				w = 500 * sim.Millisecond
+			}
+			r.deliv.SetWindow(w)
+		}
+		if p.Ack != nil {
+			r.rhoPrime = float64(p.Ack.LossRatePermille) / 1000
+		}
+	}
+}
+
+func (r *Receiver) onData(p *packet.Packet) {
+	now := r.loop.Now()
+	r.Stats.DataPackets++
+	r.OWD.Add((now - p.SentAt).Seconds())
+
+	accepted, overflow := r.buf.Offer(p.Seq, len(p.Payload))
+	if overflow {
+		r.Stats.Overflows++
+	}
+	if accepted == 0 && !overflow {
+		r.Stats.DupPackets++
+	}
+	if p.FIN {
+		r.buf.OnFIN(p.Seq + uint64(len(p.Payload)))
+	}
+	r.deliv.OnDeliver(now, accepted)
+	r.timing.OnData(now, p.SentAt)
+
+	if r.cfg.Mode == ModeTACK {
+		if !r.legacyEchoValid {
+			// First pending packet of this ack interval — the legacy
+			// timestamp echo used for the Figure 6(a) sampled-vs-advanced
+			// comparison.
+			r.legacyEchoDeparture = p.SentAt
+			r.legacyEchoValid = true
+		}
+		_, gapped := r.loss.OnPacket(now, p.PktSeq)
+		if gapped && !r.cfg.DisableIACK {
+			r.armSettleTimer()
+		}
+		// Discard loss state below the sender's oldest outstanding packet
+		// number: those holes can never fill (the sender repaired them
+		// under fresh numbers) and must not clog the unacked lists.
+		r.updateFloor(p.OldestPktSeq)
+	} else if !r.legacyEchoValid {
+		// Legacy timestamp echo: first packet of the pending-ack interval.
+		r.legacyEchoDeparture = p.SentAt
+		r.legacyEchoValid = true
+	}
+
+	if r.cfg.AutoDrain {
+		r.Stats.BytesDelivered += int64(r.buf.Read(r.buf.Readable()))
+	}
+	r.adaptSettle(now)
+
+	// Ack-policy decision. FIN-bearing data is acknowledged immediately so
+	// the sender learns of completion without waiting out the tail timer.
+	if r.policy.OnData(now, accepted) || p.FIN {
+		r.sendTACK()
+	} else {
+		r.armAckTimer()
+	}
+	r.maybeWindowIACK()
+	r.checkComplete()
+}
+
+func (r *Receiver) checkComplete() {
+	if r.completed || !r.buf.Complete() {
+		return
+	}
+	r.completed = true
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+}
+
+func (r *Receiver) armAckTimer() {
+	if d := r.policy.Deadline(r.loop.Now()); d > 0 {
+		r.ackTimer.Reset(d)
+	}
+}
+
+func (r *Receiver) onAckTimer() {
+	r.sendTACK()
+}
+
+func (r *Receiver) armSettleTimer() {
+	if d, ok := r.loss.NextDue(r.settleDelay()); ok {
+		if !r.settleTimer.Armed() || r.settleTimer.Deadline() > d {
+			r.settleTimer.Reset(d)
+		}
+	}
+}
+
+// onSettleTimer fires loss-event IACKs for gaps that outlived the
+// reordering settle delay. Loss IACKs are rate-limited to one per settle
+// delay: a single IACK already reports every due range, and TACKs repeat
+// anything an IACK misses (§5.1).
+func (r *Receiver) onSettleTimer() {
+	now := r.loop.Now()
+	if wait := r.lastLossIACK + r.settleDelay(); now < wait && r.lastLossIACK > 0 {
+		r.settleTimer.Reset(wait)
+		return
+	}
+	due := r.loss.DueLosses(now, r.settleDelay())
+	r.Stats.LossesDetected += len(due)
+	// Paper §5.1: the loss IACK reports the *most recent* loss event — the
+	// freshly settled ranges — not the whole backlog. Robustness against a
+	// lost IACK comes from the TACK's periodic unacked list (rich TACKs
+	// repeat everything; poor TACKs process the oldest Q blocks per TACK).
+	if len(due) > 0 {
+		r.lastLossIACK = now
+		// A single IACK carries at most an MSS worth of blocks; large loss
+		// bursts (e.g. a startup overshoot) are chunked across several
+		// IACKs so no due range is silently dropped.
+		budget := packet.MaxBlocks(1500) / 2
+		if budget < 1 {
+			budget = 1
+		}
+		for start := 0; start < len(due); start += budget {
+			end := start + budget
+			if end > len(due) {
+				end = len(due)
+			}
+			r.Stats.LossIACKs++
+			r.sendAck(packet.TypeIACK, packet.IACKLoss, due[start:end])
+		}
+	}
+	r.armSettleTimer()
+}
+
+// maybeWindowIACK announces abrupt receive-window changes immediately.
+func (r *Receiver) maybeWindowIACK() {
+	if r.cfg.Mode != ModeTACK {
+		return
+	}
+	if r.window.Check(r.buf.Window()) {
+		r.Stats.WindowIACKs++
+		r.sendAck(packet.TypeIACK, packet.IACKWindow, nil)
+	}
+}
+
+// sendTACK emits a scheduled acknowledgment (closing the delivery-rate and
+// loss-rate measurement intervals).
+func (r *Receiver) sendTACK() {
+	r.sendAck(packet.TypeTACK, packet.IACKKind(0), nil)
+}
+
+// sendAck builds and emits an acknowledgment of the given type. lossRanges
+// carries the freshly due loss ranges for a loss IACK.
+func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, lossRanges []seqspace.Range) {
+	now := r.loop.Now()
+	a := &packet.AckInfo{
+		CumAck: r.buf.NextExpected(),
+		Window: r.buf.Window(),
+		AckSeq: r.ackSeq,
+	}
+	r.ackSeq++
+
+	if r.cfg.Mode == ModeTACK {
+		largest, have := r.loss.Largest()
+		if have {
+			a.LargestPktSeq = largest
+		}
+		a.CumPktSeq = r.contiguousPktSeq()
+		// §5.1: TACK only repeats missing packets already reported by
+		// loss-event IACKs (the settle timer feeds that pool). With IACKs
+		// disabled (Figure 5(a) ablation) nothing enters the pool and loss
+		// recovery falls back to the sender's RTO, exactly as the paper's
+		// "without IACK" arm degrades.
+		// Delivery-rate / loss-rate sync (only TACKs close intervals, so
+		// IACKs do not fragment the measurement).
+		if typ == packet.TypeTACK {
+			r.deliv.EndInterval(now)
+			r.lastRho = r.loss.CloseInterval()
+			echo := r.timing.OnAckSent(now)
+			if echo.Valid {
+				a.EchoDeparture = echo.Departure
+				a.AckDelay = echo.AckDelay
+			}
+			if r.legacyEchoValid {
+				a.FirstEchoDeparture = r.legacyEchoDeparture
+				r.legacyEchoValid = false
+			}
+		}
+		a.DeliveryRate = uint64(r.deliv.MaxBps(now))
+		a.LossRatePermille = uint16(r.lastRho * 1000)
+		r.policy.Update(float64(a.DeliveryRate), r.rttMin)
+
+		// Block lists.
+		maxBlocks := packet.MaxBlocks(1500)
+		acked := r.loss.AckedRanges()
+		unacked := r.loss.ReportedMissing()
+		if typ == packet.TypeIACK && kind == packet.IACKLoss {
+			// Loss IACK: report the fresh ranges (plus cumulative state).
+			unacked = lossRanges
+		}
+		ackedBudget, unackedBudget := maxBlocks/2, maxBlocks/2
+		if !r.RichEnabled() && !(typ == packet.TypeIACK && kind == packet.IACKLoss) {
+			// TACK-poor: the periodic TACK repeats only the Appendix A
+			// budget. A loss IACK always reports every due range — that is
+			// its entire purpose (§4.4).
+			q := r.budget.Blocks(r.lastRho, r.rhoPrime, r.bdpBytes(now))
+			if q < len(unacked) {
+				unackedBudget = q
+			}
+			ackedBudget = 2 // cumulative prefix plus the freshest block
+		}
+		a.AckedBlocks, a.UnackedBlocks = core.AckBuilder{}.Build(acked, unacked, ackedBudget, unackedBudget)
+		// ReportedThrough: the unacked list is authoritative below the
+		// first pending (unsettled) suspect and below its own truncation
+		// point — everything under it not listed as a gap was received.
+		// A loss IACK carries only the newest gaps (not the full map), so
+		// it must not claim completeness.
+		if kind != packet.IACKLoss {
+			rt := a.LargestPktSeq + 1
+			if fr, ok := r.loss.SuspectFrontier(); ok && fr < rt {
+				rt = fr
+			}
+			if len(a.UnackedBlocks) < len(unacked) {
+				// Truncated: complete only below the first omitted gap.
+				if cut := unacked[len(a.UnackedBlocks)].Lo; cut < rt {
+					rt = cut
+				}
+			}
+			a.ReportedThrough = rt
+		}
+	} else {
+		// Legacy: SACK byte-range blocks above the cumulative point
+		// (skipped entirely in the common in-order case).
+		if r.buf.HasHoles() {
+			next := r.buf.NextExpected()
+			var sack []seqspace.Range
+			for _, rr := range r.buf.RangesView() {
+				if rr.Lo >= next {
+					sack = append(sack, rr)
+				}
+			}
+			if len(sack) > r.cfg.LegacySACKBlocks {
+				// Prefer the newest (highest) blocks, like TCP SACK.
+				sack = sack[len(sack)-r.cfg.LegacySACKBlocks:]
+			}
+			a.AckedBlocks = sack
+		}
+		if r.legacyEchoValid {
+			a.EchoDeparture = r.legacyEchoDeparture
+			r.legacyEchoValid = false
+		}
+	}
+
+	r.BlockedSamples.Add(float64(r.buf.BlockedBytes()))
+	if typ == packet.TypeTACK {
+		r.Stats.TACKsSent++
+	} else if typ == packet.TypeIACK {
+		r.Stats.IACKsSent++
+	}
+	r.policy.OnAckSent(now)
+	r.window.OnAckSent(a.Window)
+	r.ackTimer.Stop()
+	r.armAckTimer()
+
+	r.out(&packet.Packet{
+		Type: typ, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq, SentAt: now,
+		IACK: kind, Ack: a,
+	})
+	r.nextPktSeq++
+}
+
+// RichEnabled reports whether this receiver sends rich TACKs.
+func (r *Receiver) RichEnabled() bool { return r.cfg.RichTACK }
+
+// bdpBytes estimates the flow's bandwidth-delay product for the block
+// budget regime decision.
+func (r *Receiver) bdpBytes(now sim.Time) float64 {
+	return r.deliv.MaxBps(now) / 8 * r.rttMin.Seconds()
+}
+
+// contiguousPktSeq returns the packet number up to which everything
+// arrived.
+func (r *Receiver) contiguousPktSeq() uint64 {
+	largest, ok := r.loss.Largest()
+	if !ok {
+		return 0
+	}
+	// Walk the received set from cumPktSeq.
+	for r.cumPktSeq <= largest && r.loss.Received(r.cumPktSeq) {
+		r.cumPktSeq++
+	}
+	return r.cumPktSeq
+}
+
+// LossTracker exposes the receiver's loss tracker (diagnostics only).
+func (r *Receiver) LossTracker() *core.LossTracker { return r.loss }
+
+// PktFloor returns the highest sender-advertised oldest-outstanding packet
+// number seen (diagnostics only).
+func (r *Receiver) PktFloor() uint64 { return r.pktFloor }

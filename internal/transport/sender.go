@@ -1,0 +1,852 @@
+package transport
+
+import (
+	"github.com/tacktp/tack/internal/buffer"
+	"github.com/tacktp/tack/internal/cc"
+	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/pacing"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/rtt"
+	"github.com/tacktp/tack/internal/seqspace"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Sender is the transmitting half of a connection.
+type Sender struct {
+	loop *sim.Loop
+	cfg  Config
+	out  Output
+
+	ctrl  cc.Controller
+	pacer *pacing.Pacer
+	buf   *buffer.SendBuffer
+
+	// Stream state.
+	nextSeq     uint64 // next byte offset to transmit
+	nextPktSeq  uint64 // next packet number
+	appAvail    int64  // app-paced mode: bytes made available so far
+	cumAcked    uint64 // highest cumulatively acked byte
+	finSent     bool
+	done        bool
+	established bool
+
+	// Peer flow control.
+	awnd      uint64
+	awndKnown bool
+
+	// Timing.
+	timing    *rtt.SenderTiming // TACK-mode corrected estimator
+	legacyRTT *rtt.Sampler      // legacy-mode biased estimator
+	synSentAt sim.Time
+
+	// Loss bookkeeping.
+	recoverPkt      uint64 // loss episode ends when acks pass this PKT.SEQ (TACK)
+	recoverSeq      uint64 // ... or this byte seq (legacy)
+	inRecovery      bool
+	sacked          seqspace.RangeSet // legacy: sacked byte ranges
+	ackLoss         *core.AckLossEstimator
+	largestAckedPkt uint64
+
+	// Legacy sender-side delivery-rate sampling.
+	lastDeliveredBytes int64
+	lastDeliveredAt    sim.Time
+	lastRateBytes      int64
+	deliveredBytes     int64
+
+	// RTTmin / oldest-outstanding sync (TACK mode).
+	syncedRTTMin     sim.Time
+	lastSyncAt       sim.Time
+	advertisedOldest uint64
+	lastOldestSync   sim.Time
+
+	// Timers.
+	sendTimer  *sim.Timer
+	rtoTimer   *sim.Timer
+	rtoBackoff int
+
+	// Stats and payload template.
+	Stats   SenderStats
+	payload []byte
+
+	// OnDone fires once when the transfer completes (all bytes acked).
+	OnDone func()
+}
+
+// NewSender builds the sending half. Packets are emitted through out.
+func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	ctrl, err := newController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		loop:      loop,
+		cfg:       cfg,
+		out:       out,
+		ctrl:      ctrl,
+		pacer:     pacing.New(ctrl.PacingRate(), 10*cfg.Payload),
+		buf:       buffer.NewSendBuffer(),
+		timing:    rtt.NewSenderTiming(0),
+		legacyRTT: rtt.NewSampler(0),
+		ackLoss:   core.NewAckLossEstimator(),
+		payload:   make([]byte, cfg.Payload),
+	}
+	s.sendTimer = sim.NewTimer(loop, s.trySend)
+	s.rtoTimer = sim.NewTimer(loop, s.onRTO)
+	return s, nil
+}
+
+// Start initiates the handshake.
+func (s *Sender) Start() {
+	s.synSentAt = s.loop.Now()
+	s.out(&packet.Packet{Type: packet.TypeSYN, ConnID: s.cfg.ConnID, SentAt: s.loop.Now()})
+	s.rtoTimer.ResetAfter(s.rto())
+}
+
+// Done reports whether the configured transfer completed.
+func (s *Sender) Done() bool { return s.done }
+
+// Established reports whether the handshake completed.
+func (s *Sender) Established() bool { return s.established }
+
+// Controller exposes the congestion controller (diagnostics).
+func (s *Sender) Controller() cc.Controller { return s.ctrl }
+
+// RTTMin returns the sender's current minimum-RTT estimate.
+func (s *Sender) RTTMin() (sim.Time, bool) {
+	return s.est().Min(s.loop.Now())
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() sim.Time { return s.est().Smoothed() }
+
+func (s *Sender) est() *rtt.Estimate {
+	if s.cfg.Mode == ModeTACK && !s.cfg.LegacyTiming {
+		return &s.timing.Estimate
+	}
+	return &s.legacyRTT.Estimate
+}
+
+// SampledRTTMin returns the legacy (uncorrected) estimator's minimum — the
+// "RTT sampling" series of paper Figure 6(a).
+func (s *Sender) SampledRTTMin() (sim.Time, bool) {
+	return s.legacyRTT.Estimate.Min(s.loop.Now())
+}
+
+// AdvancedRTTMin returns the TACK corrected estimator's minimum — the
+// "advanced" series of paper Figure 6(a).
+func (s *Sender) AdvancedRTTMin() (sim.Time, bool) {
+	if s.timing.Samples() == 0 {
+		return 0, false
+	}
+	return s.timing.Estimate.Min(s.loop.Now())
+}
+
+func (s *Sender) rto() sim.Time {
+	rto := s.est().RTO(s.cfg.MinRTO, s.cfg.MaxRTO, sim.Second)
+	if s.cfg.Mode == ModeTACK {
+		// Like QUIC's PTO, the timeout budgets the receiver's maximum
+		// acknowledgment delay: one TACK interval plus the IACK settle
+		// delay (each RTTmin/4 at the defaults).
+		if min, ok := s.est().Min(s.loop.Now()); ok {
+			rto += min / 2
+		}
+	}
+	return rto << s.rtoBackoff
+}
+
+// inflight returns unacknowledged payload bytes.
+func (s *Sender) inflight() int { return s.buf.Bytes() }
+
+// streamRemaining reports whether un-transmitted stream bytes remain.
+func (s *Sender) streamRemaining() bool {
+	if s.cfg.AppPaced {
+		return int64(s.nextSeq) < s.appAvail
+	}
+	if s.cfg.TransferBytes <= 0 {
+		return true // unbounded source
+	}
+	return int64(s.nextSeq) < s.cfg.TransferBytes
+}
+
+// AddBytes makes n more application bytes available to an app-paced sender
+// (e.g. one encoded video frame) and kicks transmission.
+func (s *Sender) AddBytes(n int64) {
+	if !s.cfg.AppPaced || n <= 0 {
+		return
+	}
+	s.appAvail += n
+	s.trySend()
+}
+
+// SentSeq returns the next byte offset to transmit (bytes handed to the
+// network so far).
+func (s *Sender) SentSeq() uint64 { return s.nextSeq }
+
+// window returns the byte budget currently available for new data.
+func (s *Sender) window() int {
+	w := s.ctrl.CWND() - s.inflight()
+	if s.awndKnown {
+		if peer := int64(s.awnd) - int64(s.inflight()); int64(w) > peer {
+			w = int(peer)
+		}
+	}
+	return w
+}
+
+// trySend transmits retransmissions first, then new data, subject to the
+// congestion window, the peer window, and pacing.
+func (s *Sender) trySend() {
+	if !s.established || s.done {
+		return
+	}
+	now := s.loop.Now()
+	srtt := s.est().Smoothed()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	// 1. Pending retransmissions (loss-marked segments), one pass in
+	// stream order. Segments still in their once-per-RTT cooldown keep
+	// their mark and are retried when eligible.
+	paceBlocked := false
+	s.buf.ForEachEligibleRetransmit(now, srtt, func(seg *buffer.Segment) bool {
+		if !s.cfg.DisablePacing && !s.pacer.CanSend(now, seg.Len) {
+			paceBlocked = true
+			return false
+		}
+		s.retransmit(now, seg)
+		return true
+	})
+	// 2. New data.
+	if !paceBlocked {
+		for budgetGuard := 0; budgetGuard < 4096; budgetGuard++ {
+			next := s.nextChunk()
+			if next <= 0 || s.window() < next {
+				break
+			}
+			if !s.cfg.DisablePacing && !s.pacer.CanSend(now, next) {
+				break
+			}
+			s.sendNewSegment(now)
+		}
+	}
+	s.armSendTimer()
+	s.armRTO()
+}
+
+// nextChunk returns the size of the next new-data segment to send, or 0
+// when no stream bytes are available.
+func (s *Sender) nextChunk() int {
+	if !s.streamRemaining() {
+		return 0
+	}
+	n := s.cfg.Payload
+	if s.cfg.TransferBytes > 0 {
+		if rem := s.cfg.TransferBytes - int64(s.nextSeq); int64(n) > rem {
+			n = int(rem)
+		}
+	}
+	if s.cfg.AppPaced {
+		if rem := s.appAvail - int64(s.nextSeq); int64(n) > rem {
+			n = int(rem)
+		}
+	}
+	return n
+}
+
+// nextRetransmit returns the first loss-marked segment eligible under the
+// once-per-RTT rule.
+func (s *Sender) nextRetransmit(now sim.Time) *buffer.Segment {
+	srtt := s.est().Smoothed()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	// Segments retransmitted too recently (once-per-RTT rule) keep their
+	// mark and are retried when the cooldown expires.
+	return s.buf.FirstEligibleRetransmit(now, srtt)
+}
+
+func (s *Sender) sendNewSegment(now sim.Time) {
+	n := s.cfg.Payload
+	if s.cfg.TransferBytes > 0 {
+		if rem := s.cfg.TransferBytes - int64(s.nextSeq); int64(n) > rem {
+			n = int(rem)
+		}
+	}
+	if s.cfg.AppPaced {
+		if rem := s.appAvail - int64(s.nextSeq); int64(n) > rem {
+			n = int(rem)
+		}
+	}
+	if n <= 0 {
+		return
+	}
+	fin := false
+	if s.cfg.TransferBytes > 0 && int64(s.nextSeq)+int64(n) >= s.cfg.TransferBytes {
+		fin = true
+		s.finSent = true
+	}
+	p := &packet.Packet{
+		Type:         packet.TypeData,
+		ConnID:       s.cfg.ConnID,
+		PktSeq:       s.nextPktSeq,
+		SentAt:       now,
+		Seq:          s.nextSeq,
+		Payload:      s.payload[:n],
+		FIN:          fin,
+		OldestPktSeq: s.buf.OldestPktSeq(s.nextPktSeq),
+	}
+	if p.OldestPktSeq > s.advertisedOldest {
+		s.advertisedOldest = p.OldestPktSeq
+	}
+	seg := &buffer.Segment{Seq: s.nextSeq, Len: n, PktSeq: s.nextPktSeq, SentAt: now, FIN: fin}
+	s.buf.Insert(seg)
+	s.nextSeq += uint64(n)
+	s.nextPktSeq++
+	s.emitData(p, n)
+}
+
+func (s *Sender) retransmit(now sim.Time, seg *buffer.Segment) {
+	s.buf.Retransmitted(seg, s.nextPktSeq, now)
+	p := &packet.Packet{
+		Type:         packet.TypeData,
+		ConnID:       s.cfg.ConnID,
+		PktSeq:       s.nextPktSeq,
+		SentAt:       now,
+		Seq:          seg.Seq,
+		Payload:      s.payload[:seg.Len],
+		Retrans:      true,
+		FIN:          seg.FIN,
+		OldestPktSeq: s.buf.OldestPktSeq(s.nextPktSeq),
+	}
+	if p.OldestPktSeq > s.advertisedOldest {
+		s.advertisedOldest = p.OldestPktSeq
+	}
+	s.nextPktSeq++
+	s.Stats.Retransmits++
+	s.emitData(p, seg.Len)
+}
+
+func (s *Sender) emitData(p *packet.Packet, n int) {
+	now := s.loop.Now()
+	s.pacer.OnSend(now, n)
+	s.Stats.DataPackets++
+	s.Stats.DataBytes += int64(n)
+	s.out(p)
+}
+
+func (s *Sender) armSendTimer() {
+	if s.done || !s.established {
+		return
+	}
+	now := s.loop.Now()
+	srtt := s.est().Smoothed()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	pendingRetx := s.buf.HasMarked()
+	next := s.nextChunk()
+	canNew := next > 0 && s.window() >= next
+	if !pendingRetx && !canNew {
+		return // ack arrival will re-arm
+	}
+	// Earliest moment something becomes sendable: new data now, or —
+	// when only cooled-down retransmissions remain (trySend just consumed
+	// every eligible one) — a poll a fraction of an RTT out.
+	at := now
+	if !canNew {
+		at = now + srtt/8
+	}
+	if s.cfg.DisablePacing {
+		// ACK-clocked: bursts happen on ack arrival; poll at the
+		// eligibility time (at least 1 ms out to avoid hot-looping).
+		if at < now+sim.Millisecond {
+			at = now + sim.Millisecond
+		}
+		s.sendTimer.Reset(at)
+		return
+	}
+	paceAt := s.pacer.NextSendTime(now, s.cfg.Payload)
+	if paceAt > at {
+		at = paceAt
+	}
+	if at <= now {
+		// Everything is ready now yet trySend stopped: the only legal cause
+		// is the once-per-RTT rule with an eligible-at-now segment already
+		// consumed this call. Defer a millisecond to guarantee progress.
+		at = now + sim.Millisecond
+	}
+	s.sendTimer.Reset(at)
+}
+
+func (s *Sender) armRTO() {
+	if s.done {
+		s.rtoTimer.Stop()
+		return
+	}
+	if s.buf.Len() == 0 && s.established {
+		s.rtoTimer.Stop()
+		return
+	}
+	// Arm only when idle: pushing the deadline back on every ACK would let
+	// a stream of no-progress acknowledgments suppress the timeout forever.
+	if !s.rtoTimer.Armed() {
+		s.rtoTimer.ResetAfter(s.rto())
+	}
+}
+
+// restartRTO re-arms the timeout after forward progress.
+func (s *Sender) restartRTO() {
+	if s.buf.Len() > 0 {
+		s.rtoTimer.ResetAfter(s.rto())
+	}
+}
+
+// onRTO handles a retransmission timeout: collapse, back off, retransmit
+// the oldest segment (which doubles as a zero-window probe).
+func (s *Sender) onRTO() {
+	now := s.loop.Now()
+	if !s.established {
+		// Handshake retransmission.
+		s.out(&packet.Packet{Type: packet.TypeSYN, ConnID: s.cfg.ConnID, SentAt: now})
+		s.rtoBackoff++
+		s.rtoTimer.ResetAfter(s.rto())
+		return
+	}
+	if s.buf.Len() == 0 {
+		return
+	}
+	s.Stats.Timeouts++
+	s.rtoBackoff++
+	if s.rtoBackoff > 6 {
+		s.rtoBackoff = 6
+	}
+	s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: s.inflight(), Inflight: s.inflight(), Timeout: true})
+	s.pacer.SetRate(now, s.ctrl.PacingRate())
+	if seg := s.buf.Oldest(); seg != nil {
+		s.retransmit(now, seg)
+	}
+	s.inRecovery = false
+	s.rtoTimer.ResetAfter(s.rto())
+}
+
+// OnPacket dispatches an arriving packet to the sender half.
+func (s *Sender) OnPacket(p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeSYNACK:
+		s.onSynAck(p)
+	case packet.TypeTACK, packet.TypeIACK, packet.TypeFINACK:
+		s.onAck(p)
+	}
+}
+
+func (s *Sender) onSynAck(p *packet.Packet) {
+	if s.established {
+		return
+	}
+	now := s.loop.Now()
+	s.established = true
+	s.rtoBackoff = 0
+	initialRTT := now - s.synSentAt
+	s.est().Update(now, initialRTT)
+	s.pacer.SetRate(now, s.ctrl.PacingRate())
+	// Complete the handshake and seed the receiver's RTTmin (TACK interval
+	// α needs it).
+	s.sendRTTSync(packet.IACKHandshake)
+	s.trySend()
+}
+
+// sendRTTSync emits an IACK syncing RTTmin and the ACK-path loss estimate
+// to the receiver (§5.4).
+func (s *Sender) sendRTTSync(kind packet.IACKKind) {
+	now := s.loop.Now()
+	min, ok := s.est().Min(now)
+	if !ok {
+		return
+	}
+	s.syncedRTTMin = min
+	s.lastSyncAt = now
+	s.Stats.RTTSyncsSent++
+	oldest := s.buf.OldestPktSeq(s.nextPktSeq)
+	s.advertisedOldest = oldest
+	s.lastOldestSync = now
+	// Control packets do not consume data packet numbers: PKT.SEQ gaps are
+	// the receiver's loss signal, so only DATA may advance the counter.
+	s.out(&packet.Packet{
+		Type: packet.TypeIACK, ConnID: s.cfg.ConnID, SentAt: now,
+		IACK: kind, RTTMinNS: int64(min), AckOldestPktSeq: oldest,
+		Ack: &packet.AckInfo{LossRatePermille: uint16(s.ackLoss.Rate() * 1000)},
+	})
+}
+
+// maybeSyncOldest keeps the receiver's loss-state floor fresh when the
+// data path cannot (window-starved or idle): if the oldest outstanding
+// packet number advanced past what data packets last advertised, sync it
+// with a state IACK (§4.4), rate-limited to a fraction of the RTT.
+func (s *Sender) maybeSyncOldest() {
+	now := s.loop.Now()
+	oldest := s.buf.OldestPktSeq(s.nextPktSeq)
+	if oldest <= s.advertisedOldest {
+		return
+	}
+	interval := s.est().Smoothed() / 4
+	if interval < 5*sim.Millisecond {
+		interval = 5 * sim.Millisecond
+	}
+	if now-s.lastOldestSync < interval {
+		return
+	}
+	s.advertisedOldest = oldest
+	s.lastOldestSync = now
+	min, _ := s.est().Min(now)
+	s.out(&packet.Packet{
+		Type: packet.TypeIACK, ConnID: s.cfg.ConnID, SentAt: now,
+		IACK: packet.IACKRTTSync, RTTMinNS: int64(min), AckOldestPktSeq: oldest,
+		Ack: &packet.AckInfo{LossRatePermille: uint16(s.ackLoss.Rate() * 1000)},
+	})
+}
+
+// maybeSyncRTTMin re-syncs when the estimate moved by >10% (rate-limited
+// to one per second).
+func (s *Sender) maybeSyncRTTMin() {
+	if s.cfg.Mode != ModeTACK {
+		return
+	}
+	now := s.loop.Now()
+	min, ok := s.est().Min(now)
+	if !ok || now-s.lastSyncAt < sim.Second {
+		return
+	}
+	if s.syncedRTTMin > 0 {
+		diff := float64(min-s.syncedRTTMin) / float64(s.syncedRTTMin)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < 0.1 {
+			return
+		}
+	}
+	s.sendRTTSync(packet.IACKRTTSync)
+}
+
+// onAck is the heart of the sender: cumulative/selective release, loss
+// marking, timing, and congestion-controller feedback.
+func (s *Sender) onAck(p *packet.Packet) {
+	now := s.loop.Now()
+	a := p.Ack
+	if a == nil {
+		return
+	}
+	if !s.established {
+		// An ack implies the receiver saw our handshake.
+		s.established = true
+		s.pacer.SetRate(now, s.ctrl.PacingRate())
+	}
+	s.Stats.AcksReceived++
+	if p.Type == packet.TypeIACK {
+		s.Stats.IACKsReceived++
+	}
+	s.ackLoss.OnAck(a.AckSeq)
+
+	prevInflight := s.inflight()
+	_ = prevInflight
+
+	// --- Release acknowledged data. ---
+	s.buf.BeginRateSample()
+	if a.CumAck > s.cumAcked {
+		s.cumAcked = a.CumAck
+		s.rtoBackoff = 0
+		s.restartRTO()
+	} else if s.cfg.Mode == ModeTACK && a.LargestPktSeq > s.largestAckedPkt {
+		// QUIC-style: any acknowledgment of new data proves the pipe is
+		// alive; hole repair is the loss-report machinery's job, so the
+		// timeout only backstops total silence.
+		s.rtoBackoff = 0
+		s.restartRTO()
+	}
+	s.buf.AckBytes(a.CumAck)
+	if s.cfg.Mode == ModeTACK {
+		s.buf.AckPktRanges(a.AckedBlocks)
+		// Everything below the cumulative packet number was received, even
+		// if its selective-ack block was crowded out of the TACK's budget;
+		// releasing it keeps the oldest-outstanding floor advancing (which
+		// in turn lets the receiver drop dead holes).
+		s.buf.ReleasePktBelow(a.CumPktSeq)
+		// Below ReportedThrough the unacked list is complete, so the
+		// complement of the listed gaps was received: release it too.
+		if a.ReportedThrough > 0 {
+			cur := a.CumPktSeq
+			var recvd []seqspace.Range
+			for _, gap := range a.UnackedBlocks {
+				if gap.Lo >= a.ReportedThrough {
+					break
+				}
+				if gap.Lo > cur {
+					recvd = append(recvd, seqspace.Range{Lo: cur, Hi: gap.Lo})
+				}
+				if gap.Hi > cur {
+					cur = gap.Hi
+				}
+			}
+			if cur < a.ReportedThrough {
+				recvd = append(recvd, seqspace.Range{Lo: cur, Hi: a.ReportedThrough})
+			}
+			if len(recvd) > 0 {
+				s.buf.AckPktRanges(recvd)
+			}
+		}
+		if a.LargestPktSeq > s.largestAckedPkt {
+			s.largestAckedPkt = a.LargestPktSeq
+		}
+	} else {
+		// Legacy: acked blocks are byte ranges (SACK).
+		for _, r := range a.AckedBlocks {
+			s.sacked.AddRange(r)
+		}
+		s.sacked.RemoveBelow(a.CumAck)
+		s.releaseSackedSegments()
+	}
+	ackedBytes := s.buf.ReleasedBytes() - s.lastDeliveredBytes
+	if ackedBytes < 0 {
+		ackedBytes = 0
+	}
+	s.deliveredBytes = s.buf.ReleasedBytes()
+
+	// --- Timing. ---
+	var rttSample sim.Time
+	if s.cfg.Mode == ModeTACK {
+		if a.EchoDeparture > 0 {
+			e := rtt.Echo{Departure: a.EchoDeparture, AckDelay: a.AckDelay, Valid: true}
+			before := s.timing.Samples()
+			s.timing.OnAck(now, e)
+			if s.timing.Samples() > before {
+				rttSample = now - a.EchoDeparture - a.AckDelay
+			}
+		}
+		if a.FirstEchoDeparture > 0 {
+			// The legacy estimator runs in parallel, echoing the first
+			// pending packet with no Δt correction — exactly what legacy
+			// RTT sampling under delayed ACKs measures (Figure 6). It only
+			// drives control when LegacyTiming is set.
+			s.legacyRTT.OnAck(now, a.FirstEchoDeparture)
+			if s.cfg.LegacyTiming {
+				rttSample = now - a.FirstEchoDeparture
+			}
+		}
+	} else if a.EchoDeparture > 0 {
+		// Legacy timestamp echo: no ACK-delay correction.
+		s.legacyRTT.OnAck(now, a.EchoDeparture)
+		rttSample = now - a.EchoDeparture
+	}
+
+	// --- Loss handling. ---
+	lostBytes := s.handleLossReports(now, a, p.IACK == packet.IACKLoss)
+
+	// --- Delivery rate. ---
+	var deliveryRate float64
+	if s.cfg.Mode == ModeTACK {
+		deliveryRate = float64(a.DeliveryRate)
+	} else {
+		deliveryRate = s.legacyDeliveryRate(now)
+	}
+
+	// --- Feed the controller. ---
+	min, _ := s.est().Min(now)
+	s.ctrl.OnAck(cc.Ack{
+		Now:          now,
+		Bytes:        int(ackedBytes),
+		RTT:          rttSample,
+		SRTT:         s.est().Smoothed(),
+		MinRTT:       min,
+		DeliveryRate: deliveryRate,
+		Inflight:     s.inflight(),
+		AppLimited:   !s.streamRemaining() && s.buf.Len() == 0,
+	})
+	if lostBytes > 0 && !s.inRecovery {
+		s.inRecovery = true
+		s.recoverPkt = s.nextPktSeq
+		s.recoverSeq = s.nextSeq
+		s.Stats.LossEpisodes++
+		s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: lostBytes, Inflight: s.inflight()})
+	}
+	if s.inRecovery {
+		if (s.cfg.Mode == ModeTACK && s.largestAckedPkt >= s.recoverPkt) ||
+			(s.cfg.Mode == ModeLegacy && a.CumAck >= s.recoverSeq) {
+			s.inRecovery = false
+		}
+	}
+	s.pacer.SetRate(now, s.ctrl.PacingRate())
+
+	// --- Flow control. ---
+	s.awnd = a.Window
+	s.awndKnown = true
+
+	s.maybeSyncRTTMin()
+	if s.cfg.Mode == ModeTACK {
+		s.maybeSyncOldest()
+	}
+
+	// --- Completion. ---
+	s.Stats.BytesAcked = int64(s.cumAcked)
+	if s.cfg.TransferBytes > 0 && !s.done &&
+		s.finSent && int64(s.cumAcked) >= s.cfg.TransferBytes {
+		s.done = true
+		s.rtoTimer.Stop()
+		s.sendTimer.Stop()
+		if s.OnDone != nil {
+			s.OnDone()
+		}
+		return
+	}
+	s.lastDeliveredBytes = s.buf.ReleasedBytes()
+	s.trySend()
+}
+
+// handleLossReports marks segments lost per mode rules and returns the
+// newly marked byte count.
+func (s *Sender) handleLossReports(now sim.Time, a *packet.AckInfo, lossIACK bool) int {
+	lost := 0
+	if s.cfg.Mode == ModeTACK {
+		var ranges []seqspace.Range
+		ranges = append(ranges, a.UnackedBlocks...)
+		if lossIACK && len(ranges) == 0 && a.LargestPktSeq > a.CumPktSeq {
+			ranges = append(ranges, seqspace.Range{Lo: a.CumPktSeq, Hi: a.LargestPktSeq})
+		}
+		for _, seg := range s.buf.MarkLossByPktRanges(ranges) {
+			lost += seg.Len
+		}
+		return lost
+	}
+	// Legacy FACK-style: a segment is lost when >= 3*MSS bytes above it
+	// have been sacked. One pass over the sacked region with precomputed
+	// suffix sums keeps per-ack cost O(segments below maxSacked + ranges).
+	maxSacked, ok := s.sacked.Max()
+	if !ok {
+		return 0
+	}
+	threshold := 3 * s.cfg.Payload
+	ranges := s.sacked.View() // read-only within this call
+	// suffix[i] = total sacked bytes in ranges[i:].
+	suffix := make([]int, len(ranges)+1)
+	for i := len(ranges) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + int(ranges[i].Len())
+	}
+	sackedAbove := func(end uint64) int {
+		lo, hi := 0, len(ranges)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ranges[mid].Lo >= end {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		above := suffix[lo]
+		// Partial overlap of the straddling range, if any.
+		if lo > 0 && ranges[lo-1].Hi > end {
+			above += int(ranges[lo-1].Hi - end)
+		}
+		return above
+	}
+	var marked []*buffer.Segment
+	s.buf.Walk(func(seg *buffer.Segment) bool {
+		if seg.Seq > maxSacked {
+			return false // beyond the sacked region; nothing to learn
+		}
+		if seg.LossMarked {
+			return true
+		}
+		if s.sacked.ContainsRange(seg.Seq, seg.End()) {
+			return true // fully sacked; released separately
+		}
+		if sackedAbove(seg.End()) >= threshold {
+			s.buf.MarkLoss(seg)
+			marked = append(marked, seg)
+		}
+		return true
+	})
+	for _, seg := range marked {
+		lost += seg.Len
+	}
+	return lost
+}
+
+// releaseSackedSegments drops fully sacked segments from the send buffer
+// (legacy mode keeps byte-space state only).
+func (s *Sender) releaseSackedSegments() {
+	var done []seqspace.Range
+	s.buf.Walk(func(seg *buffer.Segment) bool {
+		if maxS, ok := s.sacked.Max(); !ok || seg.Seq > maxS {
+			return false
+		}
+		if s.sacked.ContainsRange(seg.Seq, seg.End()) {
+			done = append(done, seqspace.Range{Lo: seg.PktSeq, Hi: seg.PktSeq + 1})
+		}
+		return true
+	})
+	if len(done) > 0 {
+		s.buf.AckPktRanges(done)
+	}
+}
+
+// legacyDeliveryRate computes sender-side delivery-rate samples by
+// measuring released (cumulatively or selectively acknowledged) bytes over
+// windows of at least a quarter RTT. Selective releases spread hole-repair
+// credit over time, and the srtt/4 floor averages out ack bursts, so the
+// samples cannot sustain an overestimate of the true drain rate.
+func (s *Sender) legacyDeliveryRate(now sim.Time) float64 {
+	if s.lastDeliveredAt == 0 {
+		s.lastDeliveredAt = now
+		s.lastRateBytes = s.buf.ReleasedBytes()
+		return 0
+	}
+	minElapsed := s.est().Smoothed() / 2
+	if minElapsed < 20*sim.Millisecond {
+		minElapsed = 20 * sim.Millisecond
+	}
+	elapsed := now - s.lastDeliveredAt
+	if elapsed < minElapsed {
+		return 0
+	}
+	bytes := s.buf.ReleasedBytes() - s.lastRateBytes
+	s.lastDeliveredAt = now
+	s.lastRateBytes = s.buf.ReleasedBytes()
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Seconds()
+}
+
+// Kick schedules an immediate send attempt (used by harnesses after
+// construction or when the source becomes ready).
+func (s *Sender) Kick() { s.trySend() }
+
+// Rate-limited observability helpers used by experiments.
+
+// Inflight returns unacknowledged bytes.
+func (s *Sender) Inflight() int { return s.inflight() }
+
+// CumAcked returns the cumulative acknowledged byte offset.
+func (s *Sender) CumAcked() uint64 { return s.cumAcked }
+
+// AckPathLossRate returns the sender's ρ′ estimate.
+func (s *Sender) AckPathLossRate() float64 { return s.ackLoss.Rate() }
+
+// BufSegment exposes the send-buffer segment starting at byte seq
+// (diagnostics and experiments only).
+func (s *Sender) BufSegment(seq uint64) *buffer.Segment { return s.buf.BySeq(seq) }
+
+// MarkedCount returns how many segments are currently loss-marked.
+func (s *Sender) MarkedCount() int { return len(s.buf.LossMarked()) }
+
+// OldestOutstanding returns the sender's oldest outstanding packet number
+// (diagnostics only).
+func (s *Sender) OldestOutstanding() uint64 { return s.buf.OldestPktSeq(s.nextPktSeq) }
+
+// BufByPkt exposes the segment currently transmitted as pktSeq
+// (diagnostics only).
+func (s *Sender) BufByPkt(pktSeq uint64) *buffer.Segment { return s.buf.ByPktSeq(pktSeq) }
+
+// ReleasedBytes exposes the cumulative acknowledged payload bytes
+// (diagnostics only).
+func (s *Sender) ReleasedBytes() int64 { return s.buf.ReleasedBytes() }

@@ -1,0 +1,196 @@
+// Package transport implements the reliable transport engine that carries
+// the paper's protocols: TCP-TACK (TACK mode) and a legacy-TCP emulation
+// (legacy mode) used as the baseline.
+//
+// The engine is sans-IO: a Sender and a Receiver are pure event-driven
+// state machines attached to a sim.Loop for timers; packets leave through
+// an injected output function and arrive through OnPacket. The same state
+// machines run over the in-process 802.11/netem simulators (deterministic)
+// and over real UDP sockets (transport/udprunner).
+//
+// Mode differences (paper §5):
+//
+//	              legacy                      TACK
+//	ACK timing    per-packet / delayed /      Eq. 3 balance of byte-counting
+//	              byte-counting(L)            and periodic (ackpolicy.TACK)
+//	loss          sender-based: SACK blocks   receiver-based: PKT.SEQ gaps
+//	detection     + FACK threshold + RTO      with settle delay → loss IACK,
+//	                                          repeated in TACK unacked lists
+//	round-trip    ACK echo without delay      receiver min-OWD echo + Δt⋆
+//	timing        correction (biased)         correction (paper Fig. 4)
+//	rate inputs   sender-computed delivery    receiver-computed delivery
+//	              rate from cumack growth     rate + ρ synced inside TACKs
+//	send pattern  optional ACK-clocked        paced (token bucket at the
+//	              bursts                      controller's pacing rate)
+package transport
+
+import (
+	"fmt"
+
+	"github.com/tacktp/tack/internal/ackpolicy"
+	"github.com/tacktp/tack/internal/cc"
+	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Mode selects the protocol personality.
+type Mode int
+
+// Protocol modes.
+const (
+	// ModeTACK is the paper's TCP-TACK.
+	ModeTACK Mode = iota
+	// ModeLegacy emulates a legacy TCP: ACK-policy-driven acking with
+	// sender-based loss detection and timing.
+	ModeLegacy
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeTACK {
+		return "tack"
+	}
+	return "legacy"
+}
+
+// DefaultPayload is the data payload size per packet, chosen so a DATA
+// frame occupies 1518 bytes on the wire like the paper's traffic.
+const DefaultPayload = 1439
+
+// Config parameterizes a connection pair.
+type Config struct {
+	// Mode selects TACK or legacy behaviour.
+	Mode Mode
+	// CC names the congestion controller (default "bbr").
+	CC string
+	// CCConfig tunes the controller.
+	CCConfig cc.Config
+	// Payload is the data bytes per packet (default DefaultPayload).
+	Payload int
+	// Params are the TACK mechanism constants (β, L, Q, settle fraction).
+	Params core.Params
+	// RichTACK lets TACKs carry as many blocks as fit in the MSS
+	// ("TACK-rich"); when false the block budget follows Appendix A from
+	// the primary Q ("TACK-poor" when Q==1 and loss is low).
+	RichTACK bool
+	// AckPolicy overrides the receiver's acknowledgment discipline. Nil
+	// selects ackpolicy.NewTACK(β, L) in TACK mode and
+	// ackpolicy.NewDelayed(40 ms) in legacy mode.
+	AckPolicy ackpolicy.Policy
+	// LegacySACKBlocks bounds the SACK blocks carried by legacy ACKs
+	// (default 3, like a timestamp-bearing TCP SACK option).
+	LegacySACKBlocks int
+	// RecvBuf is the receive buffer capacity in bytes (default 32 MiB,
+	// emulating an autotuned receive window).
+	RecvBuf int
+	// AutoDrain makes the receiver consume in-order bytes immediately
+	// (default true; disable to exercise flow control).
+	AutoDrain bool
+	// NoAutoDrain disables AutoDrain (kept separate so the zero Config
+	// keeps draining).
+	NoAutoDrain bool
+	// TransferBytes ends the stream after this many bytes (0 = unbounded).
+	TransferBytes int64
+	// AppPaced makes the sender transmit only bytes made available via
+	// Sender.AddBytes (a streaming application source, e.g. a video
+	// encoder) instead of an always-backlogged stream.
+	AppPaced bool
+	// DisablePacing reverts to ACK-clocked bursts (ablation).
+	DisablePacing bool
+	// DisableIACK suppresses loss-event IACKs (Figure 5(a) ablation).
+	DisableIACK bool
+	// LegacyTiming makes a TACK-mode sender drive control from the
+	// uncorrected legacy RTT estimator (Figure 6 ablation: "sampling"
+	// timing without the Δt correction).
+	LegacyTiming bool
+	// AdaptiveSettle enables dynamic adjustment of the IACK reordering
+	// settle delay (the paper's §7 future work): the delay grows when
+	// spurious retransmissions appear (duplicates at the receiver, i.e.
+	// reordering was mistaken for loss) and decays toward the configured
+	// RTTmin/SettleFraction baseline when they stop.
+	AdaptiveSettle bool
+	// MinRTO / MaxRTO clamp the retransmission timeout.
+	MinRTO, MaxRTO sim.Time
+	// ConnID tags packets (useful when multiplexing flows over one path).
+	ConnID uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.CC == "" {
+		c.CC = "bbr"
+	}
+	if c.Payload <= 0 {
+		c.Payload = DefaultPayload
+	}
+	d := core.DefaultParams()
+	if c.Params.Beta <= 0 {
+		c.Params.Beta = d.Beta
+	}
+	if c.Params.L <= 0 {
+		c.Params.L = d.L
+	}
+	if c.Params.Q <= 0 {
+		c.Params.Q = d.Q
+	}
+	if c.Params.SettleFraction <= 0 {
+		c.Params.SettleFraction = d.SettleFraction
+	}
+	if c.RecvBuf <= 0 {
+		// Default sized for the highest-BDP evaluation point (≈560 Mbit/s
+		// at 200 ms RTT needs ~14 MB; give 2 BDP like an autotuned stack).
+		c.RecvBuf = 32 << 20
+	}
+	if c.LegacySACKBlocks <= 0 {
+		c.LegacySACKBlocks = 3
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+	c.AutoDrain = !c.NoAutoDrain
+	return c
+}
+
+// SenderStats aggregates sender-side counters.
+type SenderStats struct {
+	DataPackets   int   // DATA transmissions, including retransmissions
+	DataBytes     int64 // payload bytes transmitted (incl. retransmissions)
+	Retransmits   int
+	AcksReceived  int
+	IACKsReceived int
+	Timeouts      int
+	LossEpisodes  int
+	BytesAcked    int64
+	RTTSyncsSent  int
+}
+
+// ReceiverStats aggregates receiver-side counters.
+type ReceiverStats struct {
+	DataPackets    int   // DATA packets received
+	DupPackets     int   // packets carrying no new bytes
+	BytesDelivered int64 // in-order bytes handed to the application
+	TACKsSent      int
+	IACKsSent      int
+	LossIACKs      int
+	WindowIACKs    int
+	LossesDetected int
+	Overflows      int
+}
+
+// AcksSent returns the total acknowledgments the receiver emitted.
+func (r ReceiverStats) AcksSent() int { return r.TACKsSent + r.IACKsSent }
+
+// Output is the packet egress function a connection half writes to.
+type Output func(*packet.Packet)
+
+// newController builds the configured congestion controller.
+func newController(cfg Config) (cc.Controller, error) {
+	ctrl, err := cc.New(cfg.CC, cfg.CCConfig)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return ctrl, nil
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// UDPRunner drives one connection half over a real UDP socket by mapping
+// wall-clock time onto a private sim.Loop: the sans-IO state machines run
+// unmodified, with their virtual clock pinned to time.Since(start).
+//
+// This is the deployment shape of the paper's user-mode stack (§5.4): the
+// protocol in user space over an unreliable datagram substrate.
+type UDPRunner struct {
+	loop  *sim.Loop
+	conn  *net.UDPConn
+	start time.Time
+
+	mu     sync.Mutex
+	peer   *net.UDPAddr
+	wake   chan struct{}
+	closed bool
+
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// NewUDPSenderRunner builds a sending endpoint bound to laddr, transmitting
+// to raddr.
+func NewUDPSenderRunner(cfg Config, laddr, raddr string) (*UDPRunner, error) {
+	r, err := newUDPRunner(laddr, raddr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSender(r.loop, cfg, r.output)
+	if err != nil {
+		r.conn.Close()
+		return nil, err
+	}
+	r.Sender = s
+	return r, nil
+}
+
+// NewUDPReceiverRunner builds a receiving endpoint bound to laddr. The peer
+// address is learned from the first arriving packet when raddr is empty.
+func NewUDPReceiverRunner(cfg Config, laddr, raddr string) (*UDPRunner, error) {
+	r, err := newUDPRunner(laddr, raddr)
+	if err != nil {
+		return nil, err
+	}
+	r.Receiver = NewReceiver(r.loop, cfg, r.output)
+	return r, nil
+}
+
+func newUDPRunner(laddr, raddr string) (*UDPRunner, error) {
+	la, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve local %q: %w", laddr, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", laddr, err)
+	}
+	r := &UDPRunner{
+		loop:  sim.NewLoop(time.Now().UnixNano()),
+		conn:  conn,
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+	}
+	if raddr != "" {
+		ra, err := net.ResolveUDPAddr("udp", raddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve remote %q: %w", raddr, err)
+		}
+		r.peer = ra
+	}
+	return r, nil
+}
+
+// LocalAddr returns the bound UDP address.
+func (r *UDPRunner) LocalAddr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// now maps wall clock onto the virtual clock.
+func (r *UDPRunner) now() sim.Time { return sim.Time(time.Since(r.start)) }
+
+// output transmits a protocol packet to the peer.
+func (r *UDPRunner) output(p *packet.Packet) {
+	r.mu.Lock()
+	peer := r.peer
+	r.mu.Unlock()
+	if peer == nil {
+		return // no peer learned yet
+	}
+	if _, err := r.conn.WriteToUDP(p.Marshal(), peer); err != nil {
+		// Transient socket errors surface as loss; the protocol recovers.
+		return
+	}
+}
+
+// Run pumps the endpoint until the stream completes or the deadline
+// elapses (deadline <= 0 means no limit). It owns the socket: reads run on
+// an internal goroutine, but all protocol work happens on the caller's
+// goroutine, preserving the engines' single-threaded discipline.
+func (r *UDPRunner) Run(deadline time.Duration) error {
+	type inbound struct {
+		pkt  *packet.Packet
+		from *net.UDPAddr
+	}
+	in := make(chan inbound, 1024)
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, from, err := r.conn.ReadFromUDP(buf)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			pkt, err := packet.Unmarshal(buf[:n])
+			if err != nil {
+				continue // garbage datagram
+			}
+			select {
+			case in <- inbound{pkt: pkt, from: from}:
+			default: // backpressure: drop (loss-tolerant protocol)
+			}
+		}
+	}()
+
+	if r.Sender != nil {
+		r.loop.RunUntil(r.now())
+		r.Sender.Start()
+	}
+	var deadlineC <-chan time.Time
+	if deadline > 0 {
+		tm := time.NewTimer(deadline)
+		defer tm.Stop()
+		deadlineC = tm.C
+	}
+	tick := time.NewTimer(time.Millisecond)
+	defer tick.Stop()
+	var completeAt time.Time
+	for {
+		if r.Sender != nil && r.Sender.Done() {
+			return nil
+		}
+		if r.Receiver != nil && r.Receiver.Complete() {
+			// Linger so tail retransmissions can still be re-acknowledged
+			// (the sender may not have seen the final TACK yet).
+			if completeAt.IsZero() {
+				completeAt = time.Now()
+			} else if time.Since(completeAt) > time.Second {
+				return nil
+			}
+		}
+		r.loop.RunUntil(r.now())
+		// Sleep until the next virtual deadline or an inbound packet.
+		wait := time.Millisecond
+		tick.Reset(wait)
+		select {
+		case m := <-in:
+			r.mu.Lock()
+			if r.peer == nil {
+				r.peer = m.from
+			}
+			r.mu.Unlock()
+			r.loop.RunUntil(r.now())
+			r.dispatch(m.pkt)
+		case err := <-readErr:
+			if r.isClosed() {
+				return nil
+			}
+			return err
+		case <-tick.C:
+		case <-deadlineC:
+			return errors.New("transport: deadline exceeded")
+		}
+	}
+}
+
+func (r *UDPRunner) dispatch(p *packet.Packet) {
+	if r.Sender != nil {
+		r.Sender.OnPacket(p)
+	}
+	if r.Receiver != nil {
+		r.Receiver.OnPacket(p)
+	}
+}
+
+func (r *UDPRunner) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Close releases the socket.
+func (r *UDPRunner) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.conn.Close()
+}

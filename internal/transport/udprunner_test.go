@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUDPRunnerLoopbackTransfer exercises the sans-IO engine over real UDP
+// sockets on loopback: a bounded TACK-mode stream must complete and deliver
+// every byte.
+func TestUDPRunnerLoopbackTransfer(t *testing.T) {
+	const size = 256 << 10
+	cfgR := Config{Mode: ModeTACK, TransferBytes: size}
+	rcv, err := NewUDPReceiverRunner(cfgR, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+
+	cfgS := Config{Mode: ModeTACK, TransferBytes: size, CC: "cubic"}
+	snd, err := NewUDPSenderRunner(cfgS, "127.0.0.1:0", rcv.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var rcvErr error
+	go func() {
+		defer wg.Done()
+		rcvErr = rcv.Run(20 * time.Second)
+	}()
+	if err := snd.Run(20 * time.Second); err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	rcv.Close()
+	wg.Wait()
+	if rcvErr != nil {
+		t.Logf("receiver exit: %v (ok after close)", rcvErr)
+	}
+	if got := rcv.Receiver.Delivered(); got != size {
+		t.Fatalf("delivered %d, want %d", got, size)
+	}
+	if !snd.Sender.Done() {
+		t.Fatal("sender did not finish")
+	}
+}
+
+// TestUDPRunnerLegacyMode runs the same loopback transfer in legacy mode.
+func TestUDPRunnerLegacyMode(t *testing.T) {
+	const size = 128 << 10
+	cfg := Config{Mode: ModeLegacy, TransferBytes: size}
+	rcv, err := NewUDPReceiverRunner(cfg, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	snd, err := NewUDPSenderRunner(cfg, "127.0.0.1:0", rcv.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	go rcv.Run(20 * time.Second)
+	if err := snd.Run(20 * time.Second); err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	if !snd.Sender.Done() {
+		t.Fatal("sender did not finish")
+	}
+}
+
+func TestUDPRunnerBadAddrs(t *testing.T) {
+	if _, err := NewUDPReceiverRunner(Config{}, "not-an-addr", ""); err == nil {
+		t.Fatal("bad local addr should error")
+	}
+	if _, err := NewUDPSenderRunner(Config{}, "127.0.0.1:0", "also-bad"); err == nil {
+		t.Fatal("bad remote addr should error")
+	}
+}
