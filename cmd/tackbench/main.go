@@ -6,11 +6,15 @@
 //	tackbench list                 # list experiment ids
 //	tackbench all [-quick]         # run everything
 //	tackbench fig3 fig10a ...      # run specific experiments
+//	tackbench run [-path wlan] [-trace out.jsonl] [-json]   # one traced flow
 //
 // Flags:
 //
 //	-quick   reduced durations/ensembles (CI-friendly)
 //	-seed N  RNG seed (default 1)
+//
+// The run subcommand has its own flag set (see tackbench run -h); its
+// -trace output is the input format of cmd/tacktrace.
 package main
 
 import (
@@ -26,7 +30,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and ensembles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>...\n")
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 	}
 	flag.Parse()
@@ -43,6 +47,9 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	case "run":
+		runCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

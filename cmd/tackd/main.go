@@ -6,12 +6,18 @@
 //	tackd serve  -listen :4500                         # receiving side
 //	tackd send   -to host:4500 -bytes 100M [-cc bbr]   # sending side
 //
+// Both subcommands accept -trace out.jsonl (structured event trace for
+// cmd/tacktrace) and -json (machine-readable result on stdout). Progress
+// diagnostics always go to stderr so stdout stays clean for results.
+//
 // The sender reports goodput and acknowledgment statistics on completion —
 // on a loopback run, compare -mode tack against -mode legacy to see the
 // acknowledgment reduction first-hand.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
 
@@ -38,8 +45,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tackd serve -listen :4500 [-mode tack|legacy]
-  tackd send  -to host:4500 -bytes 100M [-mode tack|legacy] [-cc bbr|cubic|...]`)
+  tackd serve -listen :4500 [-mode tack|legacy] [-trace out.jsonl] [-json]
+  tackd send  -to host:4500 -bytes 100M [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json]`)
 	os.Exit(2)
 }
 
@@ -68,32 +75,139 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// traceSink wraps the optional -trace output file.
+type traceSink struct {
+	f  *os.File
+	bw *bufio.Writer
+	tr *telemetry.Tracer
+}
+
+// openTrace builds a streaming tracer writing JSONL to path ("" → no trace).
+func openTrace(path string) (*traceSink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	return &traceSink{f: f, bw: bw, tr: telemetry.NewStreaming(bw)}, nil
+}
+
+// tracer returns the sink's tracer (nil on a nil sink).
+func (t *traceSink) tracer() *telemetry.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tr
+}
+
+// close flushes and closes the trace file, reporting any sink error.
+func (t *traceSink) close() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.tr.Err(); err != nil {
+		t.f.Close()
+		return err
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}
+
+// result is the -json output document (one per run, on stdout).
+type result struct {
+	Role       string             `json:"role"`
+	Mode       string             `json:"mode"`
+	CC         string             `json:"cc,omitempty"`
+	Bytes      int64              `json:"bytes"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	GoodputBps float64            `json:"goodput_bps"`
+	Sender     *transport.SenderStats
+	Receiver   *transport.ReceiverStats
+	Metrics    telemetry.Snapshot `json:"metrics"`
+}
+
+// MarshalJSON flattens the optional halves under stable keys.
+func (r result) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Role       string                   `json:"role"`
+		Mode       string                   `json:"mode"`
+		CC         string                   `json:"cc,omitempty"`
+		Bytes      int64                    `json:"bytes"`
+		ElapsedSec float64                  `json:"elapsed_sec"`
+		GoodputBps float64                  `json:"goodput_bps"`
+		Sender     *transport.SenderStats   `json:"sender,omitempty"`
+		Receiver   *transport.ReceiverStats `json:"receiver,omitempty"`
+		Metrics    telemetry.Snapshot       `json:"metrics"`
+	}
+	return json.Marshal(alias(r))
+}
+
+// emit writes the run result: JSON on stdout when jsonOut, else the human
+// lines produced by human().
+func emit(jsonOut bool, r result, human func()) {
+	if !jsonOut {
+		human()
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, "tackd: encode result:", err)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tackd:", err)
+	os.Exit(1)
+}
+
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":4500", "UDP listen address")
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
+	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
+	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
 	fs.Parse(args)
 
-	cfg := transport.Config{Mode: parseMode(*mode)}
+	sink, err := openTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cfg := transport.Config{Mode: parseMode(*mode), Tracer: sink.tracer(), Metrics: reg}
 	r, err := transport.NewUDPReceiverRunner(cfg, *listen, "")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer r.Close()
-	fmt.Printf("tackd: listening on %s (mode=%s)\n", r.LocalAddr(), *mode)
+	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s)\n", r.LocalAddr(), *mode)
 	start := time.Now()
 	if err := r.Run(0); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	el := time.Since(start)
+	if err := sink.close(); err != nil {
+		fatal(fmt.Errorf("trace: %w", err))
+	}
 	st := r.Receiver.Stats
-	fmt.Printf("received %d bytes in %v (%.2f Mbit/s)\n",
-		r.Receiver.Delivered(), el.Round(time.Millisecond),
-		float64(r.Receiver.Delivered())*8/el.Seconds()/1e6)
-	fmt.Printf("data packets: %d, TACKs sent: %d, IACKs sent: %d (loss %d, window %d)\n",
-		st.DataPackets, st.TACKsSent, st.IACKsSent, st.LossIACKs, st.WindowIACKs)
+	res := result{
+		Role: "serve", Mode: *mode,
+		Bytes: r.Receiver.Delivered(), ElapsedSec: el.Seconds(),
+		GoodputBps: float64(r.Receiver.Delivered()) * 8 / el.Seconds(),
+		Receiver:   &st, Metrics: reg.Snapshot(),
+	}
+	emit(*jsonOut, res, func() {
+		fmt.Printf("received %d bytes in %v (%.2f Mbit/s)\n",
+			r.Receiver.Delivered(), el.Round(time.Millisecond), res.GoodputBps/1e6)
+		fmt.Printf("data packets: %d, TACKs sent: %d, IACKs sent: %d (loss %d, window %d)\n",
+			st.DataPackets, st.TACKsSent, st.IACKsSent, st.LossIACKs, st.WindowIACKs)
+	})
 }
 
 func send(args []string) {
@@ -103,6 +217,8 @@ func send(args []string) {
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
 	ccName := fs.String("cc", "bbr", "congestion controller")
 	timeout := fs.Duration("timeout", 10*time.Minute, "abort deadline")
+	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
+	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
 	fs.Parse(args)
 	if *to == "" {
 		usage()
@@ -113,26 +229,42 @@ func send(args []string) {
 		os.Exit(2)
 	}
 
-	cfg := transport.Config{Mode: parseMode(*mode), CC: *ccName, TransferBytes: size, RichTACK: true}
+	sink, err := openTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cfg := transport.Config{
+		Mode: parseMode(*mode), CC: *ccName, TransferBytes: size, RichTACK: true,
+		Tracer: sink.tracer(), Metrics: reg,
+	}
 	s, err := transport.NewUDPSenderRunner(cfg, ":0", *to)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer s.Close()
-	fmt.Printf("tackd: sending %d bytes to %s (mode=%s, cc=%s)\n", size, *to, *mode, *ccName)
+	fmt.Fprintf(os.Stderr, "tackd: sending %d bytes to %s (mode=%s, cc=%s)\n", size, *to, *mode, *ccName)
 	start := time.Now()
 	if err := s.Run(*timeout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	el := time.Since(start)
+	if err := sink.close(); err != nil {
+		fatal(fmt.Errorf("trace: %w", err))
+	}
 	st := s.Sender.Stats
-	fmt.Printf("done in %v: %.2f Mbit/s goodput\n", el.Round(time.Millisecond),
-		float64(size)*8/el.Seconds()/1e6)
-	fmt.Printf("data packets: %d (retx %d), acks received: %d (%.1f data:ack), timeouts: %d\n",
-		st.DataPackets, st.Retransmits, st.AcksReceived,
-		float64(st.DataPackets)/float64(max(1, st.AcksReceived)), st.Timeouts)
+	res := result{
+		Role: "send", Mode: *mode, CC: *ccName,
+		Bytes: size, ElapsedSec: el.Seconds(),
+		GoodputBps: float64(size) * 8 / el.Seconds(),
+		Sender:     &st, Metrics: reg.Snapshot(),
+	}
+	emit(*jsonOut, res, func() {
+		fmt.Printf("done in %v: %.2f Mbit/s goodput\n", el.Round(time.Millisecond), res.GoodputBps/1e6)
+		fmt.Printf("data packets: %d (retx %d), acks received: %d (%.1f data:ack), timeouts: %d\n",
+			st.DataPackets, st.Retransmits, st.AcksReceived,
+			float64(st.DataPackets)/float64(max(1, st.AcksReceived)), st.Timeouts)
+	})
 }
 
 func max(a, b int) int {

@@ -1,0 +1,261 @@
+// Command tacktrace analyzes JSONL event traces produced by the telemetry
+// layer (tackd -trace, tackbench run -trace).
+//
+// Usage:
+//
+//	tacktrace trace.jsonl              # human report
+//	tacktrace -json trace.jsonl        # machine-readable summary
+//	tacktrace -timeline trace.jsonl    # add a per-second per-flow timeline
+//	tacktrace -                        # read the trace from stdin
+//
+// The report answers the questions the TACK paper asks of a flow: what
+// acknowledgment frequency the receiver achieved versus the Eq. 3 target
+// f_tack = min(bw/(L·MSS), β/RTTmin) and which bound was binding, why each
+// IACK fired, how long loss detection took (gap observed → declared), and
+// how the MAC spent its airtime.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
+)
+
+func main() {
+	flowID := flag.Int("flow", -1, "restrict the report to one flow id")
+	jsonOut := flag.Bool("json", false, "emit a JSON summary on stdout")
+	timeline := flag.Bool("timeline", false, "append a per-second per-flow timeline")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tacktrace [-flow N] [-json] [-timeline] <trace.jsonl | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := telemetry.DecodeJSONL(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *flowID >= 0 {
+		events = filterFlow(events, uint32(*flowID))
+	}
+	summary := telemetry.Analyze(events)
+
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(jsonDoc(summary)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(summary.String())
+	if *timeline {
+		printTimeline(os.Stdout, events)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacktrace:", err)
+	os.Exit(1)
+}
+
+// filterFlow keeps transport events of the given flow (MAC events are
+// medium-wide and station-indexed, so they are dropped when filtering).
+func filterFlow(events []telemetry.Event, id uint32) []telemetry.Event {
+	out := events[:0]
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindMACTx, telemetry.KindMACCollision, telemetry.KindMACDrop:
+			continue
+		}
+		if e.Flow == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// jsonFlow is the machine-readable per-flow digest.
+type jsonFlow struct {
+	Flow             uint32         `json:"flow"`
+	Mode             string         `json:"mode"`
+	Beta             int            `json:"beta,omitempty"`
+	L                int            `json:"l,omitempty"`
+	StartSec         float64        `json:"start_sec"`
+	EndSec           float64        `json:"end_sec"`
+	DataPackets      int            `json:"data_packets"`
+	Retransmits      int            `json:"retransmits"`
+	BytesSent        int64          `json:"bytes_sent"`
+	BytesAcked       int64          `json:"bytes_acked"`
+	TACKs            int            `json:"tacks"`
+	IACKs            int            `json:"iacks"`
+	AcksReceived     int            `json:"acks_received,omitempty"`
+	AckTriggers      map[string]int `json:"ack_triggers,omitempty"`
+	IACKTriggers     map[string]int `json:"iack_triggers,omitempty"`
+	RTTMinSec        float64        `json:"rttmin_sec,omitempty"`
+	DeliveryBps      float64        `json:"delivery_bps,omitempty"`
+	AchievedAckHz    float64        `json:"achieved_ack_hz,omitempty"`
+	TargetAckHz      float64        `json:"target_ack_hz,omitempty"`
+	TargetByteHz     float64        `json:"target_byte_hz,omitempty"`
+	TargetPeriodicHz float64        `json:"target_periodic_hz,omitempty"`
+	Regime           string         `json:"regime,omitempty"`
+	AckFreqError     float64        `json:"ack_freq_error,omitempty"`
+	LossRanges       int            `json:"loss_ranges"`
+	LossPackets      int            `json:"loss_packets"`
+	LossLatencyP50   float64        `json:"loss_latency_p50_sec,omitempty"`
+	LossLatencyP95   float64        `json:"loss_latency_p95_sec,omitempty"`
+	LossLatencyP99   float64        `json:"loss_latency_p99_sec,omitempty"`
+	LossEpisodes     int            `json:"loss_episodes"`
+	RTOs             int            `json:"rtos"`
+	FinalCwnd        int64          `json:"final_cwnd_bytes,omitempty"`
+	FinalPacingBps   float64        `json:"final_pacing_bps,omitempty"`
+}
+
+type jsonMAC struct {
+	Stations         int     `json:"stations"`
+	Acquisitions     int     `json:"acquisitions"`
+	FramesTx         uint64  `json:"frames_tx"`
+	BytesTx          int64   `json:"bytes_tx"`
+	AirtimeSec       float64 `json:"airtime_sec"`
+	Collisions       int     `json:"collisions"`
+	CollisionTimeSec float64 `json:"collision_time_sec"`
+	Drops            int     `json:"drops"`
+	MeanBackoffSlots float64 `json:"mean_backoff_slots"`
+}
+
+type jsonSummary struct {
+	Events  int        `json:"events"`
+	SpanSec float64    `json:"span_sec"`
+	Flows   []jsonFlow `json:"flows"`
+	MAC     *jsonMAC   `json:"mac,omitempty"`
+}
+
+func jsonDoc(s *telemetry.TraceSummary) jsonSummary {
+	doc := jsonSummary{Events: s.Events, SpanSec: s.Span.Seconds()}
+	for _, f := range s.Flows {
+		jf := jsonFlow{
+			Flow: f.Flow, Mode: f.Mode, Beta: f.Beta, L: f.L,
+			StartSec: f.Start.Seconds(), EndSec: f.End.Seconds(),
+			DataPackets: f.DataPackets, Retransmits: f.Retransmits,
+			BytesSent: f.BytesSent, BytesAcked: f.BytesAcked,
+			TACKs: f.TACKs, IACKs: f.IACKs, AcksReceived: f.AcksReceived,
+			AckTriggers: f.AckTriggers, IACKTriggers: f.IACKTriggers,
+			RTTMinSec: f.RTTMin.Seconds(), DeliveryBps: f.DeliveryBps,
+			AchievedAckHz: f.AchievedAckHz, TargetAckHz: f.TargetAckHz,
+			TargetByteHz: f.TargetByteHz, TargetPeriodicHz: f.TargetPeriodicHz,
+			Regime:     f.Regime,
+			LossRanges: f.LossRanges, LossPackets: f.LossPackets,
+			LossEpisodes: f.LossEpisodes, RTOs: f.RTOs,
+			FinalCwnd: f.LastCwnd, FinalPacingBps: f.LastPacing,
+		}
+		if e := f.AckFrequencyError(); e >= 0 {
+			jf.AckFreqError = e
+		}
+		if f.LossLatency.Count() > 0 {
+			jf.LossLatencyP50 = f.LossLatency.Percentile(50)
+			jf.LossLatencyP95 = f.LossLatency.Percentile(95)
+			jf.LossLatencyP99 = f.LossLatency.Percentile(99)
+		}
+		doc.Flows = append(doc.Flows, jf)
+	}
+	if s.MAC != nil {
+		doc.MAC = &jsonMAC{
+			Stations: s.MAC.Stations, Acquisitions: s.MAC.Acquisitions,
+			FramesTx: s.MAC.FramesTx, BytesTx: s.MAC.BytesTx,
+			AirtimeSec: s.MAC.Airtime.Seconds(),
+			Collisions: s.MAC.Collisions, CollisionTimeSec: s.MAC.CollisionTime.Seconds(),
+			Drops: s.MAC.Drops, MeanBackoffSlots: s.MAC.BackoffSlots.Mean(),
+		}
+	}
+	return doc
+}
+
+// bucket is one per-flow per-second timeline cell.
+type bucket struct {
+	data, retx, tacks, iacks, losses int
+	bytes                            int64
+}
+
+// printTimeline renders second-by-second per-flow activity — the quick "what
+// happened when" view for eyeballing stalls and loss bursts.
+func printTimeline(w io.Writer, events []telemetry.Event) {
+	type key struct {
+		flow uint32
+		sec  int64
+	}
+	cells := map[key]*bucket{}
+	flows := map[uint32]bool{}
+	var maxSec int64
+	cell := func(flow uint32, t sim.Time) *bucket {
+		k := key{flow, int64(t / sim.Second)}
+		b := cells[k]
+		if b == nil {
+			b = &bucket{}
+			cells[k] = b
+		}
+		flows[flow] = true
+		if k.sec > maxSec {
+			maxSec = k.sec
+		}
+		return b
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindDataSent:
+			b := cell(e.Flow, e.Sim)
+			b.data++
+			b.bytes += e.Len
+			if e.Trigger == telemetry.TrigRetrans {
+				b.retx++
+			}
+		case telemetry.KindAckSent:
+			b := cell(e.Flow, e.Sim)
+			switch e.Trigger {
+			case telemetry.TrigLoss, telemetry.TrigWindow, telemetry.TrigRTTSync,
+				telemetry.TrigHandshake, telemetry.TrigKeepalive:
+				b.iacks++
+			default:
+				b.tacks++
+			}
+		case telemetry.KindLossDeclared:
+			cell(e.Flow, e.Sim).losses += int(e.Len)
+		}
+	}
+	if len(flows) == 0 {
+		return
+	}
+	ids := make([]uint32, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintf(w, "\ntimeline (per second):\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "flow %d:\n", id)
+		for sec := int64(0); sec <= maxSec; sec++ {
+			b := cells[key{id, sec}]
+			if b == nil {
+				continue
+			}
+			fmt.Fprintf(w, "  [%3ds] data=%-6d (%7.2f Mbit) retx=%-4d tacks=%-5d iacks=%-3d lost=%d\n",
+				sec, b.data, float64(b.bytes)*8/1e6, b.retx, b.tacks, b.iacks, b.losses)
+		}
+	}
+}

@@ -58,12 +58,62 @@ type Policy interface {
 	Update(bwBps float64, rttMin sim.Time)
 }
 
+// Trigger identifies which condition of a discipline most recently
+// warranted (or will next warrant) an acknowledgment — the per-event
+// answer to "why did this TACK fire" that the telemetry layer records.
+type Trigger uint8
+
+// Trigger values.
+const (
+	// TriggerNone: no acknowledgment condition is pending.
+	TriggerNone Trigger = iota
+	// TriggerBytes: the byte-counting threshold (L·MSS pending) fired.
+	TriggerBytes
+	// TriggerTimer: the periodic spacing (α = RTTmin/β, or a fixed
+	// interval) fired with the byte condition already satisfied.
+	TriggerTimer
+	// TriggerTail: the bounded tail delay fired for a sub-threshold tail.
+	TriggerTail
+)
+
+// String names the trigger.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerBytes:
+		return "bytes"
+	case TriggerTimer:
+		return "timer"
+	case TriggerTail:
+		return "tail"
+	default:
+		return "none"
+	}
+}
+
+// Explainer is implemented by policies that can report the trigger behind
+// their most recent acknowledgment decision. After OnData returns true the
+// value explains that immediate ack; after OnData returns false it
+// explains what a subsequent Deadline-driven ack would mean.
+type Explainer interface {
+	LastTrigger() Trigger
+}
+
+// ExplainTrigger returns p's last trigger when p explains itself, and
+// TriggerNone otherwise.
+func ExplainTrigger(p Policy) Trigger {
+	if e, ok := p.(Explainer); ok {
+		return e.LastTrigger()
+	}
+	return TriggerNone
+}
+
 // base carries the bookkeeping shared by all disciplines.
 type base struct {
 	bytesPending int
 	firstPending sim.Time
 	lastAck      sim.Time
 	havePending  bool
+	lastTrigger  Trigger
 }
 
 func (b *base) onData(now sim.Time, bytes int) {
@@ -73,6 +123,9 @@ func (b *base) onData(now sim.Time, bytes int) {
 	}
 	b.bytesPending += bytes
 }
+
+// LastTrigger implements Explainer for every discipline embedding base.
+func (b *base) LastTrigger() Trigger { return b.lastTrigger }
 
 func (b *base) onAckSent(now sim.Time) {
 	b.bytesPending = 0
@@ -92,6 +145,7 @@ func (p *PerPacket) Name() string { return "perpacket" }
 // OnData implements Policy.
 func (p *PerPacket) OnData(now sim.Time, bytes int) bool {
 	p.onData(now, bytes)
+	p.lastTrigger = TriggerBytes
 	return true
 }
 
@@ -138,7 +192,13 @@ func (b *ByteCount) Name() string { return b.name }
 // OnData implements Policy.
 func (b *ByteCount) OnData(now sim.Time, bytes int) bool {
 	b.onData(now, bytes)
-	return b.bytesPending >= b.l*MSS
+	fire := b.bytesPending >= b.l*MSS
+	if fire {
+		b.lastTrigger = TriggerBytes
+	} else {
+		b.lastTrigger = TriggerTail
+	}
+	return fire
 }
 
 // Deadline implements Policy.
@@ -175,6 +235,7 @@ func (p *Periodic) Name() string { return "periodic" }
 // OnData implements Policy.
 func (p *Periodic) OnData(now sim.Time, bytes int) bool {
 	p.onData(now, bytes)
+	p.lastTrigger = TriggerTimer
 	return now-p.lastAck >= p.alpha
 }
 
@@ -242,8 +303,28 @@ func (t *TACK) Alpha() sim.Time { return t.alpha }
 
 // OnData implements Policy: both conditions must hold.
 func (t *TACK) OnData(now sim.Time, bytes int) bool {
+	prevPending := t.bytesPending
 	t.onData(now, bytes)
-	return t.bytesPending >= t.l*MSS && now-t.lastAck >= t.alpha
+	bytesOK := t.bytesPending >= t.l*MSS
+	timeOK := now-t.lastAck >= t.alpha
+	switch {
+	case bytesOK && timeOK:
+		// Both hold: the binding (last-satisfied) condition is the byte
+		// threshold when this packet crossed it, the periodic boundary when
+		// the threshold was already met and only time was lacking.
+		if prevPending >= t.l*MSS {
+			t.lastTrigger = TriggerTimer
+		} else {
+			t.lastTrigger = TriggerBytes
+		}
+	case bytesOK:
+		// Waiting out the α spacing: a timer-driven ack is periodic-bound.
+		t.lastTrigger = TriggerTimer
+	default:
+		// Sub-threshold tail: a timer-driven ack is the bounded tail delay.
+		t.lastTrigger = TriggerTail
+	}
+	return bytesOK && timeOK
 }
 
 // Deadline implements Policy.

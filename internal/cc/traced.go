@@ -1,0 +1,78 @@
+package cc
+
+import (
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
+)
+
+// traced decorates a Controller with telemetry: it emits a cc_update event
+// whenever the controller's outputs (CWND, pacing rate) change in response
+// to feedback, and keeps registry gauges current. The wrapper is how the
+// whole controller family gains observability without each algorithm
+// carrying instrumentation code.
+type traced struct {
+	Controller
+	tracer *telemetry.Tracer
+	flow   uint32
+
+	cwndGauge   *telemetry.Gauge
+	pacingGauge *telemetry.Gauge
+	lossCount   *telemetry.Counter
+
+	lastCwnd   int
+	lastPacing float64
+}
+
+// Traced wraps inner with event tracing and metrics. Either tr or reg may
+// be nil; when both are nil the controller is returned unwrapped so the
+// un-instrumented hot path stays untouched.
+func Traced(inner Controller, tr *telemetry.Tracer, flow uint32, reg *telemetry.Registry) Controller {
+	if tr == nil && reg == nil {
+		return inner
+	}
+	return &traced{
+		Controller:  inner,
+		tracer:      tr,
+		flow:        flow,
+		cwndGauge:   reg.Gauge("cc.cwnd_bytes"),
+		pacingGauge: reg.Gauge("cc.pacing_bps"),
+		lossCount:   reg.Counter("cc.loss_events"),
+	}
+}
+
+// OnAck forwards the event and records any output change.
+func (t *traced) OnAck(a Ack) {
+	t.Controller.OnAck(a)
+	t.publish(a.Now, false)
+}
+
+// OnLoss forwards the episode and records the reaction.
+func (t *traced) OnLoss(l Loss) {
+	t.lossCount.Inc()
+	t.Controller.OnLoss(l)
+	t.publish(l.Now, true)
+}
+
+func (t *traced) publish(now sim.Time, onLoss bool) {
+	cwnd := t.Controller.CWND()
+	pacing := t.Controller.PacingRate()
+	if cwnd == t.lastCwnd && pacing == t.lastPacing && !onLoss {
+		return
+	}
+	t.lastCwnd = cwnd
+	t.lastPacing = pacing
+	t.cwndGauge.Set(float64(cwnd))
+	t.pacingGauge.Set(pacing)
+	t.tracer.CCUpdate(now, t.flow, cwnd, pacing, onLoss)
+}
+
+// Unwrap exposes the inner controller (diagnostics and tests).
+func (t *traced) Unwrap() Controller { return t.Controller }
+
+// Unwrap returns the controller beneath a telemetry wrapper, or c itself.
+func Unwrap(c Controller) Controller {
+	if t, ok := c.(interface{ Unwrap() Controller }); ok {
+		return t.Unwrap()
+	}
+	return c
+}

@@ -132,11 +132,33 @@ func (lt *LossTracker) OnPacket(now sim.Time, pktSeq uint64) (newGap seqspace.Ra
 	return seqspace.Range{}, false
 }
 
+// DueLoss is one settled loss range plus the time its gap was first
+// observed, so callers can report the detection latency (observation →
+// declaration) to the telemetry layer.
+type DueLoss struct {
+	Range seqspace.Range
+	// Observed is when the gap first appeared (the settle timer's start).
+	Observed sim.Time
+}
+
 // DueLosses returns the suspected ranges whose settle delay has elapsed and
 // that are still missing; they are marked as reported (the IACK trigger).
 // The caller sends one loss IACK covering the returned ranges.
 func (lt *LossTracker) DueLosses(now sim.Time, settle sim.Time) []seqspace.Range {
-	var due []seqspace.Range
+	details := lt.DueLossDetails(now, settle)
+	if len(details) == 0 {
+		return nil
+	}
+	due := make([]seqspace.Range, len(details))
+	for i, d := range details {
+		due[i] = d.Range
+	}
+	return due
+}
+
+// DueLossDetails is DueLosses with the per-range observation time retained.
+func (lt *LossTracker) DueLossDetails(now sim.Time, settle sim.Time) []DueLoss {
+	var due []DueLoss
 	kept := lt.suspects[:0]
 	for _, s := range lt.suspects {
 		if now-s.at < settle {
@@ -145,7 +167,7 @@ func (lt *LossTracker) DueLosses(now sim.Time, settle sim.Time) []seqspace.Range
 		}
 		// Reduce the suspect range to what is still missing.
 		for _, missing := range lt.received.Gaps(s.r.Lo, s.r.Hi) {
-			due = append(due, missing)
+			due = append(due, DueLoss{Range: missing, Observed: s.at})
 			lt.reported.AddRange(missing)
 			lt.reportedAt = append(lt.reportedAt, suspect{r: missing, at: now})
 			lt.totalLost += int(missing.Len())

@@ -25,6 +25,7 @@ import (
 
 	"github.com/tacktp/tack/internal/phy"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 // Frame is one MAC service data unit queued at a station.
@@ -58,6 +59,7 @@ type Station struct {
 	Name string
 
 	medium  *Medium
+	index   uint32 // attach order; tags this station's telemetry events
 	queue   []*Frame
 	backoff int // remaining backoff slots; -1 means "draw fresh"
 	retries int // collisions suffered by the head frame
@@ -80,6 +82,7 @@ func (s *Station) QueueLen() int { return len(s.queue) }
 func (s *Station) Enqueue(f *Frame) {
 	if len(s.queue) >= s.maxQueue {
 		s.Stats.Drops++
+		s.medium.Tracer.MACDrop(s.medium.loop.Now(), s.index, telemetry.TrigQueueFull, f.Size)
 		return
 	}
 	f.enqueued = s.medium.loop.Now()
@@ -105,6 +108,10 @@ type Medium struct {
 	// noise; failed MPDUs miss their (Block)Ack and are retried.
 	PER float64
 
+	// Tracer records MAC-level telemetry events (acquisitions, collisions,
+	// drops); nil — the default — disables tracing.
+	Tracer *telemetry.Tracer
+
 	// Busy time accounting for utilization reporting.
 	busyTime    sim.Time
 	collideTime sim.Time
@@ -124,7 +131,7 @@ func (m *Medium) AddStation(name string, maxQueue int) *Station {
 	if maxQueue <= 0 {
 		maxQueue = 2048
 	}
-	st := &Station{Name: name, medium: m, backoff: -1, maxQueue: maxQueue}
+	st := &Station{Name: name, medium: m, index: uint32(len(m.stations)), backoff: -1, maxQueue: maxQueue}
 	m.stations = append(m.stations, st)
 	return st
 }
@@ -204,10 +211,10 @@ func (m *Medium) resolve() {
 		}
 	}
 	if len(winners) == 1 {
-		m.transmit(winners[0])
+		m.transmit(winners[0], minSlots)
 		return
 	}
-	m.collide(winners)
+	m.collide(winners, minSlots)
 }
 
 // aggregate pops the head-of-queue frames a winner may send in one
@@ -235,8 +242,9 @@ func (st *Station) aggregate() []*Frame {
 	return frames
 }
 
-// transmit performs a successful acquisition by station st.
-func (m *Medium) transmit(st *Station) {
+// transmit performs a successful acquisition by station st after waiting
+// slots backoff slots.
+func (m *Medium) transmit(st *Station, slots int) {
 	frames := st.aggregate()
 	p := m.params
 	var air sim.Time
@@ -255,6 +263,13 @@ func (m *Medium) transmit(st *Station) {
 	st.Stats.Airtime += air
 
 	now := m.loop.Now()
+	if m.Tracer != nil {
+		msdu := 0
+		for _, f := range frames {
+			msdu += f.Size
+		}
+		m.Tracer.MACTx(now, st.index, len(frames), msdu, air, slots)
+	}
 	// Per-MPDU random errors are decided up front; failed subframes stay
 	// queued for MAC retry, successful ones decode (and deliver)
 	// progressively across the aggregate's airtime, so the receiver
@@ -299,6 +314,7 @@ func (m *Medium) transmit(st *Station) {
 			if st.retries > p.RetryLimit {
 				// Drop the head frame after exhausting retries.
 				if len(st.queue) > 0 {
+					m.Tracer.MACDrop(m.loop.Now(), st.index, telemetry.TrigRetryLimit, st.queue[0].Size)
 					st.queue = st.queue[1:]
 				}
 				st.Stats.Drops++
@@ -335,7 +351,8 @@ func (st *Station) removeDelivered(delivered []*Frame) {
 
 // collide wastes the medium for the duration of the longest colliding
 // transmission plus an ACK timeout (EIFS-like), then retries everyone.
-func (m *Medium) collide(winners []*Station) {
+// slots is the backoff each collider had waited.
+func (m *Medium) collide(winners []*Station, slots int) {
 	p := m.params
 	var longest sim.Time
 	for _, st := range winners {
@@ -358,6 +375,7 @@ func (m *Medium) collide(winners []*Station) {
 	m.busy = true
 	m.busyTime += waste
 	m.collideTime += waste
+	m.Tracer.MACCollision(m.loop.Now(), winners[0].index, len(winners), waste, slots)
 	for _, st := range winners {
 		st.Stats.Collisions++
 		st.Stats.Retries++
@@ -365,6 +383,7 @@ func (m *Medium) collide(winners []*Station) {
 		st.backoff = -1 // redraw from doubled CW
 		if st.retries > p.RetryLimit {
 			if len(st.queue) > 0 {
+				m.Tracer.MACDrop(m.loop.Now(), st.index, telemetry.TrigRetryLimit, st.queue[0].Size)
 				st.queue = st.queue[1:]
 			}
 			st.Stats.Drops++

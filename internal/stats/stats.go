@@ -11,11 +11,14 @@ import (
 )
 
 // Summary accumulates a stream of float64 observations and answers
-// count/mean/min/max/percentile queries. Percentile queries sort lazily.
+// count/mean/min/max/percentile queries. Min, max, and sum are maintained
+// incrementally so frequent extremum queries (metrics snapshots poll them)
+// never force a sort; percentile queries still sort lazily.
 type Summary struct {
-	vals   []float64
-	sorted bool
-	sum    float64
+	vals     []float64
+	sorted   bool
+	sum      float64
+	min, max float64
 }
 
 // NewSummary returns an empty summary.
@@ -23,6 +26,12 @@ func NewSummary() *Summary { return &Summary{} }
 
 // Add records one observation.
 func (s *Summary) Add(v float64) {
+	if len(s.vals) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.vals) == 0 || v > s.max {
+		s.max = v
+	}
 	s.vals = append(s.vals, v)
 	s.sorted = false
 	s.sum += v
@@ -44,20 +53,18 @@ func (s *Summary) Mean() float64 {
 
 // Min returns the smallest observation, or +Inf when empty.
 func (s *Summary) Min() float64 {
-	s.ensureSorted()
 	if len(s.vals) == 0 {
 		return math.Inf(1)
 	}
-	return s.vals[0]
+	return s.min
 }
 
 // Max returns the largest observation, or -Inf when empty.
 func (s *Summary) Max() float64 {
-	s.ensureSorted()
 	if len(s.vals) == 0 {
 		return math.Inf(-1)
 	}
-	return s.vals[len(s.vals)-1]
+	return s.max
 }
 
 // Stddev returns the population standard deviation.

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// The JSONL schema: one object per line with short, stable keys.
+//
+//	{"t":80000000,"wall":1719160000000000000,"ev":"ack_sent","flow":1,
+//	 "trig":2,"seq":1048576,"pkt":730,"len":0,"aux":80000000,"val":5.6e8}
+//
+// "t" is the virtual clock in nanoseconds and "ev" the Kind name; all
+// other fields are kind-specific (see the Kind constants) and omitted when
+// zero. Encoding is hand-rolled with strconv appends so a streaming tracer
+// allocates nothing per event beyond its reusable scratch buffer.
+
+// AppendEvent appends e as one JSONL line (including the trailing newline)
+// to b and returns the extended slice.
+func AppendEvent(b []byte, e *Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(e.Sim), 10)
+	if e.Wall != 0 {
+		b = append(b, `,"wall":`...)
+		b = strconv.AppendInt(b, e.Wall, 10)
+	}
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Flow != 0 {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendUint(b, uint64(e.Flow), 10)
+	}
+	if e.Trigger != 0 {
+		b = append(b, `,"trig":`...)
+		b = strconv.AppendUint(b, uint64(e.Trigger), 10)
+	}
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+	}
+	if e.PktSeq != 0 {
+		b = append(b, `,"pkt":`...)
+		b = strconv.AppendUint(b, e.PktSeq, 10)
+	}
+	if e.Len != 0 {
+		b = append(b, `,"len":`...)
+		b = strconv.AppendInt(b, e.Len, 10)
+	}
+	if e.Aux != 0 {
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendUint(b, e.Aux, 10)
+	}
+	if e.Value != 0 {
+		b = append(b, `,"val":`...)
+		b = strconv.AppendFloat(b, e.Value, 'g', -1, 64)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// wireEvent mirrors the JSONL field names for decoding.
+type wireEvent struct {
+	T    int64   `json:"t"`
+	Wall int64   `json:"wall"`
+	Ev   string  `json:"ev"`
+	Flow uint32  `json:"flow"`
+	Trig uint8   `json:"trig"`
+	Seq  uint64  `json:"seq"`
+	Pkt  uint64  `json:"pkt"`
+	Len  int64   `json:"len"`
+	Aux  uint64  `json:"aux"`
+	Val  float64 `json:"val"`
+}
+
+// DecodeJSONL reads a JSONL trace back into events. Blank lines are
+// skipped; malformed lines abort with a positional error. Events with
+// unrecognized names decode to KindUnknown rather than failing, so newer
+// traces remain readable.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			Sim:  sim.Time(w.T),
+			Wall: w.Wall, Kind: KindByName(w.Ev), Flow: w.Flow,
+			Trigger: w.Trig, Seq: w.Seq, PktSeq: w.Pkt, Len: w.Len,
+			Aux: w.Aux, Value: w.Val,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
+}

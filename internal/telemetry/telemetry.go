@@ -1,0 +1,462 @@
+// Package telemetry provides structured, allocation-conscious flow
+// observability for the TACK stack: a qlog-style typed event log and a
+// metrics registry with cheap atomic hot-path updates.
+//
+// The design follows the QUIC ecosystem's qlog practice: every
+// behaviourally significant protocol event — a DATA transmission, a
+// TACK/IACK emission with its trigger, a loss declaration with its
+// detection latency, a congestion-controller update, a MAC-level collision
+// — is recorded as one flat, fixed-size Event carrying both the simulation
+// clock and (when available) the wall clock, and exported as JSON Lines
+// for offline analysis (cmd/tacktrace).
+//
+// Instrumentation is opt-in and nil-safe: every Tracer method is a no-op
+// on a nil receiver, and a nil Registry hands out nil Counters/Gauges
+// whose update methods are likewise no-ops. Un-instrumented runs therefore
+// pay a nil check per emission point and zero allocations (asserted by
+// BenchmarkNoopTracer / TestNoopPathAllocations).
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds. The per-kind meaning of the generic Event fields is
+// documented on each constant and summarized in DESIGN.md ("Observability").
+const (
+	// KindUnknown is the zero Kind; decoded events with unrecognized names
+	// carry it.
+	KindUnknown Kind = iota
+	// KindFlowParams records the flow's TACK constants once per flow:
+	// Trigger=mode (0 TACK, 1 legacy), Seq=β, PktSeq=L, Len=payload bytes,
+	// Aux=settle fraction.
+	KindFlowParams
+	// KindDataSent records a DATA transmission: Trigger=1 for a
+	// retransmission, Seq=byte offset, PktSeq=packet number, Len=payload
+	// bytes, Aux=oldest outstanding packet number.
+	KindDataSent
+	// KindAckSent records a receiver acknowledgment emission:
+	// Trigger=acknowledgment trigger (Trig*), Seq=cumulative ack byte,
+	// PktSeq=largest packet number seen, Len=unacked blocks carried,
+	// Aux=current RTTmin in ns, Value=synced delivery rate (bit/s).
+	KindAckSent
+	// KindAckReceived records sender-side acknowledgment processing:
+	// Trigger=IACK trigger (TrigNone for a TACK), Seq=cumulative ack byte,
+	// PktSeq=largest acknowledged packet number, Len=newly acked bytes,
+	// Aux=RTT sample in ns (0 if none), Value=delivery-rate input (bit/s).
+	KindAckReceived
+	// KindLossDeclared records one settled loss range at the receiver:
+	// PktSeq=range lo, Aux=range hi, Len=packets in the range,
+	// Value=detection latency in seconds (gap observed → declared).
+	KindLossDeclared
+	// KindLossEpisode records the sender entering a loss episode:
+	// Trigger=1 for RTO-driven, Len=bytes declared lost, Aux=inflight bytes.
+	KindLossEpisode
+	// KindRTOFired records a retransmission timeout: Len=inflight bytes,
+	// Aux=backoff exponent.
+	KindRTOFired
+	// KindCCUpdate records a congestion-controller output change:
+	// Trigger=1 when caused by a loss event, Len=cwnd bytes,
+	// Value=pacing rate (bit/s).
+	KindCCUpdate
+	// KindRTTSync records a sender→receiver state sync IACK:
+	// Trigger=IACK trigger, PktSeq=oldest outstanding packet number,
+	// Aux=RTTmin in ns, Value=ACK-path loss rate ρ′.
+	KindRTTSync
+	// KindRateSample records a receiver delivery-rate interval closing:
+	// Len=interval bytes, Aux=interval ns, Value=interval rate (bit/s).
+	KindRateSample
+	// KindMACTx records a successful medium acquisition: Flow=station
+	// index, PktSeq=frames aggregated, Len=MSDU bytes, Aux=airtime ns,
+	// Value=backoff slots waited.
+	KindMACTx
+	// KindMACCollision records a collision: Flow=station index of one
+	// collider, PktSeq=number of colliding stations, Aux=wasted airtime ns,
+	// Value=backoff slots waited.
+	KindMACCollision
+	// KindMACDrop records a frame drop: Flow=station index,
+	// Trigger=TrigQueueFull or TrigRetryLimit, Len=frame bytes.
+	KindMACDrop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindUnknown:      "unknown",
+	KindFlowParams:   "flow_params",
+	KindDataSent:     "data_sent",
+	KindAckSent:      "ack_sent",
+	KindAckReceived:  "ack_recv",
+	KindLossDeclared: "loss_declared",
+	KindLossEpisode:  "loss_episode",
+	KindRTOFired:     "rto_fired",
+	KindCCUpdate:     "cc_update",
+	KindRTTSync:      "rtt_sync",
+	KindRateSample:   "rate_sample",
+	KindMACTx:        "mac_tx",
+	KindMACCollision: "mac_collision",
+	KindMACDrop:      "mac_drop",
+}
+
+// String returns the event name used on the wire (JSONL "ev" field).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindByName resolves a wire name back to its Kind (KindUnknown when the
+// name is not recognized, so decoders tolerate forward-compatible traces).
+func KindByName(name string) Kind {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k)
+		}
+	}
+	return KindUnknown
+}
+
+// Trigger values. KindAckSent uses the acknowledgment triggers; KindMACDrop
+// uses the MAC drop causes; KindAckReceived / KindRTTSync use the IACK
+// triggers with TrigNone denoting a plain TACK.
+const (
+	// TrigNone marks an event with no specific trigger (e.g. a TACK).
+	TrigNone uint8 = iota
+	// TrigBytes: the byte-counting condition (L·MSS pending) fired the ack.
+	TrigBytes
+	// TrigTimer: the periodic boundary (α = RTTmin/β) fired the ack.
+	TrigTimer
+	// TrigTail: the bounded tail delay fired the ack for a sub-threshold
+	// tail.
+	TrigTail
+	// TrigFIN: FIN-bearing data forced an immediate ack.
+	TrigFIN
+	// TrigLoss: a loss-event IACK.
+	TrigLoss
+	// TrigWindow: an abrupt receive-window change IACK.
+	TrigWindow
+	// TrigRTTSync: a sender RTTmin/oldest-outstanding sync IACK.
+	TrigRTTSync
+	// TrigHandshake: the handshake-completing IACK.
+	TrigHandshake
+	// TrigKeepalive: a liveness probe IACK.
+	TrigKeepalive
+	// TrigRetrans marks KindDataSent retransmissions.
+	TrigRetrans
+	// TrigQueueFull / TrigRetryLimit are the KindMACDrop causes.
+	TrigQueueFull
+	TrigRetryLimit
+)
+
+var triggerNames = [...]string{
+	TrigNone:       "none",
+	TrigBytes:      "bytes",
+	TrigTimer:      "timer",
+	TrigTail:       "tail",
+	TrigFIN:        "fin",
+	TrigLoss:       "loss",
+	TrigWindow:     "window",
+	TrigRTTSync:    "rttsync",
+	TrigHandshake:  "handshake",
+	TrigKeepalive:  "keepalive",
+	TrigRetrans:    "retrans",
+	TrigQueueFull:  "queuefull",
+	TrigRetryLimit: "retrylimit",
+}
+
+// TriggerName renders a trigger value ("none" for the zero value).
+func TriggerName(t uint8) string {
+	if int(t) < len(triggerNames) {
+		return triggerNames[t]
+	}
+	return "unknown"
+}
+
+// Event is one flat trace record. Field semantics depend on Kind (see the
+// Kind constants); unused fields stay zero and are omitted from the JSONL
+// encoding. The struct deliberately contains no pointers, strings, or
+// slices so recording is a single copy.
+type Event struct {
+	// Sim is the virtual (simulation) timestamp.
+	Sim sim.Time
+	// Wall is the wall-clock timestamp in Unix nanoseconds (0 when the
+	// tracer has no wall clock, e.g. deterministic test runs).
+	Wall int64
+	// Kind discriminates the event.
+	Kind Kind
+	// Flow identifies the connection (transport events) or station index
+	// (MAC events).
+	Flow uint32
+	// Trigger is the kind-specific cause discriminator.
+	Trigger uint8
+	// Seq is a byte-space sequence field.
+	Seq uint64
+	// PktSeq is a packet-number-space field.
+	PktSeq uint64
+	// Len is a byte (or block) count.
+	Len int64
+	// Aux is a kind-specific auxiliary integer (often nanoseconds).
+	Aux uint64
+	// Value is a kind-specific float (often a rate in bit/s).
+	Value float64
+}
+
+// Tracer records Events. All methods are safe on a nil *Tracer (no-ops),
+// which is the un-instrumented default throughout the stack. A Tracer is
+// safe for concurrent use (the UDP runner's reader goroutine and metrics
+// snapshots may race protocol callbacks).
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	wallNow func() int64
+
+	// Streaming sink (optional): events are encoded and written as they
+	// are recorded instead of being retained in memory.
+	w       io.Writer
+	scratch []byte
+	werr    error
+}
+
+// New returns an in-memory tracer. Recorded events are retained and
+// available via Events / WriteJSONL. The wall clock defaults to time.Now;
+// use SetWallClock(nil) for deterministic traces.
+func New() *Tracer {
+	return &Tracer{wallNow: func() int64 { return time.Now().UnixNano() }}
+}
+
+// NewStreaming returns a tracer that encodes each event to w as a JSONL
+// line at record time (constant memory; suited to long runs). Call Err
+// after the run to check for sink write failures.
+func NewStreaming(w io.Writer) *Tracer {
+	t := New()
+	t.w = w
+	t.scratch = make([]byte, 0, 256)
+	return t
+}
+
+// SetWallClock replaces the wall-clock source; nil disables wall-clock
+// stamping (events carry Wall=0), which keeps simulated traces fully
+// deterministic.
+func (t *Tracer) SetWallClock(now func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.wallNow = now
+	t.mu.Unlock()
+}
+
+// Emit records one event, stamping the wall clock. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.wallNow != nil {
+		e.Wall = t.wallNow()
+	}
+	if t.w != nil {
+		t.scratch = AppendEvent(t.scratch[:0], &e)
+		if _, err := t.w.Write(t.scratch); err != nil && t.werr == nil {
+			t.werr = err
+		}
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Err returns the first streaming-sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.werr
+}
+
+// Events returns a copy of the recorded events (empty for streaming
+// tracers).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSONL encodes the retained events to w as JSON Lines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf := make([]byte, 0, 256)
+	for i := range t.events {
+		buf = AppendEvent(buf[:0], &t.events[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Typed emission helpers (the instrumentation points call these). ---
+
+// FlowParams records the flow's acknowledgment constants (once per flow).
+func (t *Tracer) FlowParams(now sim.Time, flow uint32, legacy bool, beta, l, payload, settleFraction int) {
+	if t == nil {
+		return
+	}
+	var mode uint8
+	if legacy {
+		mode = 1
+	}
+	t.Emit(Event{Sim: now, Kind: KindFlowParams, Flow: flow, Trigger: mode,
+		Seq: uint64(beta), PktSeq: uint64(l), Len: int64(payload), Aux: uint64(settleFraction)})
+}
+
+// DataSent records a DATA (re)transmission.
+func (t *Tracer) DataSent(now sim.Time, flow uint32, seq, pktSeq uint64, n int, retrans bool, oldest uint64) {
+	if t == nil {
+		return
+	}
+	var trig uint8
+	if retrans {
+		trig = TrigRetrans
+	}
+	t.Emit(Event{Sim: now, Kind: KindDataSent, Flow: flow, Trigger: trig,
+		Seq: seq, PktSeq: pktSeq, Len: int64(n), Aux: oldest})
+}
+
+// AckSent records a receiver acknowledgment emission.
+func (t *Tracer) AckSent(now sim.Time, flow uint32, trigger uint8, cumAck, largestPkt uint64, unackedBlocks int, rttMin sim.Time, deliveryBps float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindAckSent, Flow: flow, Trigger: trigger,
+		Seq: cumAck, PktSeq: largestPkt, Len: int64(unackedBlocks),
+		Aux: uint64(rttMin), Value: deliveryBps})
+}
+
+// AckReceived records sender-side acknowledgment processing.
+func (t *Tracer) AckReceived(now sim.Time, flow uint32, trigger uint8, cumAck, largestPkt uint64, ackedBytes int64, rtt sim.Time, deliveryBps float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindAckReceived, Flow: flow, Trigger: trigger,
+		Seq: cumAck, PktSeq: largestPkt, Len: ackedBytes,
+		Aux: uint64(rtt), Value: deliveryBps})
+}
+
+// LossDeclared records one settled loss range with its detection latency.
+func (t *Tracer) LossDeclared(now sim.Time, flow uint32, lo, hi uint64, latency sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindLossDeclared, Flow: flow,
+		PktSeq: lo, Aux: hi, Len: int64(hi - lo), Value: latency.Seconds()})
+}
+
+// LossEpisode records the sender entering a loss episode.
+func (t *Tracer) LossEpisode(now sim.Time, flow uint32, lostBytes, inflight int, timeout bool) {
+	if t == nil {
+		return
+	}
+	var trig uint8
+	if timeout {
+		trig = 1
+	}
+	t.Emit(Event{Sim: now, Kind: KindLossEpisode, Flow: flow, Trigger: trig,
+		Len: int64(lostBytes), Aux: uint64(inflight)})
+}
+
+// RTOFired records a retransmission timeout.
+func (t *Tracer) RTOFired(now sim.Time, flow uint32, inflight, backoff int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindRTOFired, Flow: flow,
+		Len: int64(inflight), Aux: uint64(backoff)})
+}
+
+// CCUpdate records a congestion-controller output change.
+func (t *Tracer) CCUpdate(now sim.Time, flow uint32, cwnd int, pacingBps float64, onLoss bool) {
+	if t == nil {
+		return
+	}
+	var trig uint8
+	if onLoss {
+		trig = 1
+	}
+	t.Emit(Event{Sim: now, Kind: KindCCUpdate, Flow: flow, Trigger: trig,
+		Len: int64(cwnd), Value: pacingBps})
+}
+
+// RTTSync records a sender→receiver state sync.
+func (t *Tracer) RTTSync(now sim.Time, flow uint32, trigger uint8, oldestPkt uint64, rttMin sim.Time, ackLossRate float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindRTTSync, Flow: flow, Trigger: trigger,
+		PktSeq: oldestPkt, Aux: uint64(rttMin), Value: ackLossRate})
+}
+
+// RateSample records a closed delivery-rate measurement interval.
+func (t *Tracer) RateSample(now sim.Time, flow uint32, intervalBytes int64, interval sim.Time, bps float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindRateSample, Flow: flow,
+		Len: intervalBytes, Aux: uint64(interval), Value: bps})
+}
+
+// MACTx records a successful medium acquisition.
+func (t *Tracer) MACTx(now sim.Time, station uint32, frames, bytes int, airtime sim.Time, slots int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindMACTx, Flow: station,
+		PktSeq: uint64(frames), Len: int64(bytes), Aux: uint64(airtime), Value: float64(slots)})
+}
+
+// MACCollision records a collision involving stations colliders.
+func (t *Tracer) MACCollision(now sim.Time, station uint32, colliders int, waste sim.Time, slots int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindMACCollision, Flow: station,
+		PktSeq: uint64(colliders), Aux: uint64(waste), Value: float64(slots)})
+}
+
+// MACDrop records a dropped frame.
+func (t *Tracer) MACDrop(now sim.Time, station uint32, cause uint8, bytes int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindMACDrop, Flow: station, Trigger: cause,
+		Len: int64(bytes)})
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/phy"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
 
@@ -41,6 +42,8 @@ type WLANConfig struct {
 	// the local driver/qdisc, which backpressures the stack rather than
 	// dropping — congestion control, not tail drop, bounds its depth.
 	QueueFrames int
+	// Tracer records MAC-level telemetry from the medium (nil disables).
+	Tracer *telemetry.Tracer
 }
 
 func (c WLANConfig) queueFrames() int {
@@ -55,6 +58,7 @@ func (c WLANConfig) queueFrames() int {
 func WLANPath(loop *sim.Loop, cfg WLANConfig) (*Path, *mac.Medium) {
 	m := mac.NewMedium(loop, phy.Get(cfg.Standard))
 	m.PER = cfg.PER
+	m.Tracer = cfg.Tracer
 	sta := m.AddStation("sta", cfg.queueFrames())
 	ap := m.AddStation("ap", cfg.queueFrames())
 	p := &Path{}
@@ -121,6 +125,7 @@ func HybridPath(loop *sim.Loop, wlan WLANConfig, wan WANConfig) (*Path, *mac.Med
 	p := &Path{}
 	m := mac.NewMedium(loop, phy.Get(wlan.Standard))
 	m.PER = wlan.PER
+	m.Tracer = wlan.Tracer
 	sta := m.AddStation("sta", wlan.queueFrames())
 	ap := m.AddStation("ap", wlan.queueFrames())
 

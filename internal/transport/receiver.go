@@ -10,6 +10,7 @@ import (
 	"github.com/tacktp/tack/internal/seqspace"
 	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/stats"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 // Receiver is the receiving half of a connection.
@@ -56,6 +57,14 @@ type Receiver struct {
 
 	// Stats and instrumentation.
 	Stats ReceiverStats
+
+	// Telemetry (nil-safe no-ops when un-instrumented).
+	tracer       *telemetry.Tracer
+	mDataPackets *telemetry.Counter
+	mTACKs       *telemetry.Counter
+	mIACKs       *telemetry.Counter
+	mLosses      *telemetry.Counter
+	mLossLatency *telemetry.Histogram
 	// OWD collects per-packet one-way delays (sim clock is shared, so these
 	// are true OWDs) for latency reporting.
 	OWD *stats.Summary
@@ -83,7 +92,16 @@ func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
 		deliv:          rate.NewDeliveryEstimator(sim.Second),
 		OWD:            stats.NewSummary(),
 		BlockedSamples: stats.NewSummary(),
+
+		tracer:       cfg.Tracer,
+		mDataPackets: cfg.Metrics.Counter("rcv.data_packets"),
+		mTACKs:       cfg.Metrics.Counter("rcv.tacks_sent"),
+		mIACKs:       cfg.Metrics.Counter("rcv.iacks_sent"),
+		mLosses:      cfg.Metrics.Counter("rcv.losses_detected"),
+		mLossLatency: cfg.Metrics.Histogram("rcv.loss_latency_s"),
 	}
+	r.tracer.FlowParams(loop.Now(), cfg.ConnID, cfg.Mode == ModeLegacy,
+		cfg.Params.Beta, cfg.Params.L, cfg.Payload, cfg.Params.SettleFraction)
 	if cfg.AckPolicy != nil {
 		r.policy = cfg.AckPolicy
 	} else if cfg.Mode == ModeTACK {
@@ -181,7 +199,7 @@ func (r *Receiver) OnPacket(p *packet.Packet) {
 		r.onSenderIACK(p)
 	case packet.TypeFIN:
 		r.buf.OnFIN(p.Seq)
-		r.sendAck(packet.TypeFINACK, packet.IACKKind(0), nil)
+		r.sendAck(packet.TypeFINACK, packet.IACKKind(0), telemetry.TrigFIN, nil)
 	}
 }
 
@@ -239,6 +257,7 @@ func (r *Receiver) onSenderIACK(p *packet.Packet) {
 func (r *Receiver) onData(p *packet.Packet) {
 	now := r.loop.Now()
 	r.Stats.DataPackets++
+	r.mDataPackets.Inc()
 	r.OWD.Add((now - p.SentAt).Seconds())
 
 	accepted, overflow := r.buf.Offer(p.Seq, len(p.Payload))
@@ -283,8 +302,12 @@ func (r *Receiver) onData(p *packet.Packet) {
 
 	// Ack-policy decision. FIN-bearing data is acknowledged immediately so
 	// the sender learns of completion without waiting out the tail timer.
-	if r.policy.OnData(now, accepted) || p.FIN {
-		r.sendTACK()
+	if fire := r.policy.OnData(now, accepted); fire || p.FIN {
+		trig := policyTrigger(ackpolicy.ExplainTrigger(r.policy))
+		if !fire {
+			trig = telemetry.TrigFIN
+		}
+		r.sendTACK(trig)
 	} else {
 		r.armAckTimer()
 	}
@@ -309,7 +332,9 @@ func (r *Receiver) armAckTimer() {
 }
 
 func (r *Receiver) onAckTimer() {
-	r.sendTACK()
+	// After OnData declined, the policy's last trigger explains what a
+	// timer-driven acknowledgment means (periodic boundary or tail delay).
+	r.sendTACK(policyTrigger(ackpolicy.ExplainTrigger(r.policy)))
 }
 
 func (r *Receiver) armSettleTimer() {
@@ -330,14 +355,22 @@ func (r *Receiver) onSettleTimer() {
 		r.settleTimer.Reset(wait)
 		return
 	}
-	due := r.loss.DueLosses(now, r.settleDelay())
+	due := r.loss.DueLossDetails(now, r.settleDelay())
 	r.Stats.LossesDetected += len(due)
+	r.mLosses.Add(int64(len(due)))
 	// Paper §5.1: the loss IACK reports the *most recent* loss event — the
 	// freshly settled ranges — not the whole backlog. Robustness against a
 	// lost IACK comes from the TACK's periodic unacked list (rich TACKs
 	// repeat everything; poor TACKs process the oldest Q blocks per TACK).
 	if len(due) > 0 {
 		r.lastLossIACK = now
+		ranges := make([]seqspace.Range, len(due))
+		for i, d := range due {
+			ranges[i] = d.Range
+			// Detection latency: gap first observed → loss declared.
+			r.tracer.LossDeclared(now, r.cfg.ConnID, d.Range.Lo, d.Range.Hi, now-d.Observed)
+			r.mLossLatency.Observe((now - d.Observed).Seconds())
+		}
 		// A single IACK carries at most an MSS worth of blocks; large loss
 		// bursts (e.g. a startup overshoot) are chunked across several
 		// IACKs so no due range is silently dropped.
@@ -345,13 +378,13 @@ func (r *Receiver) onSettleTimer() {
 		if budget < 1 {
 			budget = 1
 		}
-		for start := 0; start < len(due); start += budget {
+		for start := 0; start < len(ranges); start += budget {
 			end := start + budget
-			if end > len(due) {
-				end = len(due)
+			if end > len(ranges) {
+				end = len(ranges)
 			}
 			r.Stats.LossIACKs++
-			r.sendAck(packet.TypeIACK, packet.IACKLoss, due[start:end])
+			r.sendAck(packet.TypeIACK, packet.IACKLoss, telemetry.TrigLoss, ranges[start:end])
 		}
 	}
 	r.armSettleTimer()
@@ -364,19 +397,21 @@ func (r *Receiver) maybeWindowIACK() {
 	}
 	if r.window.Check(r.buf.Window()) {
 		r.Stats.WindowIACKs++
-		r.sendAck(packet.TypeIACK, packet.IACKWindow, nil)
+		r.sendAck(packet.TypeIACK, packet.IACKWindow, telemetry.TrigWindow, nil)
 	}
 }
 
 // sendTACK emits a scheduled acknowledgment (closing the delivery-rate and
-// loss-rate measurement intervals).
-func (r *Receiver) sendTACK() {
-	r.sendAck(packet.TypeTACK, packet.IACKKind(0), nil)
+// loss-rate measurement intervals). trigger names the Eq. 3 condition that
+// warranted it (telemetry only).
+func (r *Receiver) sendTACK(trigger uint8) {
+	r.sendAck(packet.TypeTACK, packet.IACKKind(0), trigger, nil)
 }
 
 // sendAck builds and emits an acknowledgment of the given type. lossRanges
-// carries the freshly due loss ranges for a loss IACK.
-func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, lossRanges []seqspace.Range) {
+// carries the freshly due loss ranges for a loss IACK; trigger is the
+// telemetry cause discriminator.
+func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, trigger uint8, lossRanges []seqspace.Range) {
 	now := r.loop.Now()
 	a := &packet.AckInfo{
 		CumAck: r.buf.NextExpected(),
@@ -399,7 +434,10 @@ func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, lossRanges []s
 		// Delivery-rate / loss-rate sync (only TACKs close intervals, so
 		// IACKs do not fragment the measurement).
 		if typ == packet.TypeTACK {
-			r.deliv.EndInterval(now)
+			sample := r.deliv.EndInterval(now)
+			if sample.Packets > 0 {
+				r.tracer.RateSample(now, r.cfg.ConnID, sample.Bytes, sample.Elapsed, sample.IntervalBps())
+			}
 			r.lastRho = r.loss.CloseInterval()
 			echo := r.timing.OnAckSent(now)
 			if echo.Valid {
@@ -479,9 +517,13 @@ func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, lossRanges []s
 	r.BlockedSamples.Add(float64(r.buf.BlockedBytes()))
 	if typ == packet.TypeTACK {
 		r.Stats.TACKsSent++
+		r.mTACKs.Inc()
 	} else if typ == packet.TypeIACK {
 		r.Stats.IACKsSent++
+		r.mIACKs.Inc()
 	}
+	r.tracer.AckSent(now, r.cfg.ConnID, trigger, a.CumAck, a.LargestPktSeq,
+		len(a.UnackedBlocks), r.rttMin, float64(a.DeliveryRate))
 	r.policy.OnAckSent(now)
 	r.window.OnAckSent(a.Window)
 	r.ackTimer.Stop()

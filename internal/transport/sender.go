@@ -9,6 +9,7 @@ import (
 	"github.com/tacktp/tack/internal/rtt"
 	"github.com/tacktp/tack/internal/seqspace"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 // Sender is the transmitting half of a connection.
@@ -68,6 +69,15 @@ type Sender struct {
 	Stats   SenderStats
 	payload []byte
 
+	// Telemetry (nil-safe no-ops when un-instrumented).
+	tracer        *telemetry.Tracer
+	mDataPackets  *telemetry.Counter
+	mRetransmits  *telemetry.Counter
+	mTimeouts     *telemetry.Counter
+	mAcksReceived *telemetry.Counter
+	mLossEpisodes *telemetry.Counter
+	mRTT          *telemetry.Histogram
+
 	// OnDone fires once when the transfer completes (all bytes acked).
 	OnDone func()
 }
@@ -90,6 +100,14 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 		legacyRTT: rtt.NewSampler(0),
 		ackLoss:   core.NewAckLossEstimator(),
 		payload:   make([]byte, cfg.Payload),
+
+		tracer:        cfg.Tracer,
+		mDataPackets:  cfg.Metrics.Counter("snd.data_packets"),
+		mRetransmits:  cfg.Metrics.Counter("snd.retransmits"),
+		mTimeouts:     cfg.Metrics.Counter("snd.timeouts"),
+		mAcksReceived: cfg.Metrics.Counter("snd.acks_received"),
+		mLossEpisodes: cfg.Metrics.Counter("snd.loss_episodes"),
+		mRTT:          cfg.Metrics.Histogram("snd.rtt_s"),
 	}
 	s.sendTimer = sim.NewTimer(loop, s.trySend)
 	s.rtoTimer = sim.NewTimer(loop, s.onRTO)
@@ -109,8 +127,9 @@ func (s *Sender) Done() bool { return s.done }
 // Established reports whether the handshake completed.
 func (s *Sender) Established() bool { return s.established }
 
-// Controller exposes the congestion controller (diagnostics).
-func (s *Sender) Controller() cc.Controller { return s.ctrl }
+// Controller exposes the congestion controller (diagnostics). Telemetry
+// wrappers are peeled off so callers see the algorithm itself.
+func (s *Sender) Controller() cc.Controller { return cc.Unwrap(s.ctrl) }
 
 // RTTMin returns the sender's current minimum-RTT estimate.
 func (s *Sender) RTTMin() (sim.Time, bool) {
@@ -332,6 +351,11 @@ func (s *Sender) emitData(p *packet.Packet, n int) {
 	s.pacer.OnSend(now, n)
 	s.Stats.DataPackets++
 	s.Stats.DataBytes += int64(n)
+	s.mDataPackets.Inc()
+	if p.Retrans {
+		s.mRetransmits.Inc()
+	}
+	s.tracer.DataSent(now, s.cfg.ConnID, p.Seq, p.PktSeq, n, p.Retrans, p.OldestPktSeq)
 	s.out(p)
 }
 
@@ -417,10 +441,13 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.Stats.Timeouts++
+	s.mTimeouts.Inc()
+	s.tracer.RTOFired(now, s.cfg.ConnID, s.inflight(), s.rtoBackoff)
 	s.rtoBackoff++
 	if s.rtoBackoff > 6 {
 		s.rtoBackoff = 6
 	}
+	s.tracer.LossEpisode(now, s.cfg.ConnID, s.inflight(), s.inflight(), true)
 	s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: s.inflight(), Inflight: s.inflight(), Timeout: true})
 	s.pacer.SetRate(now, s.ctrl.PacingRate())
 	if seg := s.buf.Oldest(); seg != nil {
@@ -470,6 +497,7 @@ func (s *Sender) sendRTTSync(kind packet.IACKKind) {
 	oldest := s.buf.OldestPktSeq(s.nextPktSeq)
 	s.advertisedOldest = oldest
 	s.lastOldestSync = now
+	s.tracer.RTTSync(now, s.cfg.ConnID, iackTrigger(kind), oldest, min, s.ackLoss.Rate())
 	// Control packets do not consume data packet numbers: PKT.SEQ gaps are
 	// the receiver's loss signal, so only DATA may advance the counter.
 	s.out(&packet.Packet{
@@ -499,6 +527,7 @@ func (s *Sender) maybeSyncOldest() {
 	s.advertisedOldest = oldest
 	s.lastOldestSync = now
 	min, _ := s.est().Min(now)
+	s.tracer.RTTSync(now, s.cfg.ConnID, telemetry.TrigRTTSync, oldest, min, s.ackLoss.Rate())
 	s.out(&packet.Packet{
 		Type: packet.TypeIACK, ConnID: s.cfg.ConnID, SentAt: now,
 		IACK: packet.IACKRTTSync, RTTMinNS: int64(min), AckOldestPktSeq: oldest,
@@ -650,6 +679,13 @@ func (s *Sender) onAck(p *packet.Packet) {
 		deliveryRate = s.legacyDeliveryRate(now)
 	}
 
+	s.mAcksReceived.Inc()
+	if rttSample > 0 {
+		s.mRTT.Observe(rttSample.Seconds())
+	}
+	s.tracer.AckReceived(now, s.cfg.ConnID, iackTrigger(p.IACK), a.CumAck,
+		a.LargestPktSeq, ackedBytes, rttSample, deliveryRate)
+
 	// --- Feed the controller. ---
 	min, _ := s.est().Min(now)
 	s.ctrl.OnAck(cc.Ack{
@@ -667,6 +703,8 @@ func (s *Sender) onAck(p *packet.Packet) {
 		s.recoverPkt = s.nextPktSeq
 		s.recoverSeq = s.nextSeq
 		s.Stats.LossEpisodes++
+		s.mLossEpisodes.Inc()
+		s.tracer.LossEpisode(now, s.cfg.ConnID, lostBytes, s.inflight(), false)
 		s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: lostBytes, Inflight: s.inflight()})
 	}
 	if s.inRecovery {

@@ -32,6 +32,7 @@ import (
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 // Mode selects the protocol personality.
@@ -114,6 +115,13 @@ type Config struct {
 	MinRTO, MaxRTO sim.Time
 	// ConnID tags packets (useful when multiplexing flows over one path).
 	ConnID uint32
+	// Tracer records structured per-event telemetry for this connection
+	// half (nil — the default — disables tracing at near-zero cost; see
+	// internal/telemetry).
+	Tracer *telemetry.Tracer
+	// Metrics registers hot-path counters, gauges, and histograms for this
+	// connection half (nil disables).
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -186,11 +194,45 @@ func (r ReceiverStats) AcksSent() int { return r.TACKsSent + r.IACKsSent }
 // Output is the packet egress function a connection half writes to.
 type Output func(*packet.Packet)
 
-// newController builds the configured congestion controller.
+// newController builds the configured congestion controller, wrapped with
+// telemetry when the connection is instrumented.
 func newController(cfg Config) (cc.Controller, error) {
 	ctrl, err := cc.New(cfg.CC, cfg.CCConfig)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return ctrl, nil
+	return cc.Traced(ctrl, cfg.Tracer, cfg.ConnID, cfg.Metrics), nil
+}
+
+// iackTrigger maps a wire IACK kind onto the telemetry trigger namespace
+// (TrigNone for plain TACKs).
+func iackTrigger(k packet.IACKKind) uint8 {
+	switch k {
+	case packet.IACKLoss:
+		return telemetry.TrigLoss
+	case packet.IACKWindow:
+		return telemetry.TrigWindow
+	case packet.IACKRTTSync:
+		return telemetry.TrigRTTSync
+	case packet.IACKHandshake:
+		return telemetry.TrigHandshake
+	case packet.IACKKeepalive:
+		return telemetry.TrigKeepalive
+	default:
+		return telemetry.TrigNone
+	}
+}
+
+// policyTrigger maps an ackpolicy trigger onto the telemetry namespace.
+func policyTrigger(t ackpolicy.Trigger) uint8 {
+	switch t {
+	case ackpolicy.TriggerBytes:
+		return telemetry.TrigBytes
+	case ackpolicy.TriggerTimer:
+		return telemetry.TrigTimer
+	case ackpolicy.TriggerTail:
+		return telemetry.TrigTail
+	default:
+		return telemetry.TrigNone
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 // UDPRunner drives one connection half over a real UDP socket by mapping
@@ -29,6 +30,12 @@ type UDPRunner struct {
 
 	Sender   *Sender
 	Receiver *Receiver
+
+	// Socket-level metrics (nil-safe; populated from the endpoint Config).
+	mRxPackets *telemetry.Counter
+	mRxDropped *telemetry.Counter
+	mRxGarbage *telemetry.Counter
+	mTxErrors  *telemetry.Counter
 }
 
 // NewUDPSenderRunner builds a sending endpoint bound to laddr, transmitting
@@ -44,6 +51,7 @@ func NewUDPSenderRunner(cfg Config, laddr, raddr string) (*UDPRunner, error) {
 		return nil, err
 	}
 	r.Sender = s
+	r.bindMetrics(cfg.Metrics)
 	return r, nil
 }
 
@@ -55,7 +63,16 @@ func NewUDPReceiverRunner(cfg Config, laddr, raddr string) (*UDPRunner, error) {
 		return nil, err
 	}
 	r.Receiver = NewReceiver(r.loop, cfg, r.output)
+	r.bindMetrics(cfg.Metrics)
 	return r, nil
+}
+
+// bindMetrics registers the runner's socket-level counters.
+func (r *UDPRunner) bindMetrics(reg *telemetry.Registry) {
+	r.mRxPackets = reg.Counter("udp.rx_packets")
+	r.mRxDropped = reg.Counter("udp.rx_dropped")
+	r.mRxGarbage = reg.Counter("udp.rx_garbage")
+	r.mTxErrors = reg.Counter("udp.tx_errors")
 }
 
 func newUDPRunner(laddr, raddr string) (*UDPRunner, error) {
@@ -100,6 +117,7 @@ func (r *UDPRunner) output(p *packet.Packet) {
 	}
 	if _, err := r.conn.WriteToUDP(p.Marshal(), peer); err != nil {
 		// Transient socket errors surface as loss; the protocol recovers.
+		r.mTxErrors.Inc()
 		return
 	}
 }
@@ -125,11 +143,14 @@ func (r *UDPRunner) Run(deadline time.Duration) error {
 			}
 			pkt, err := packet.Unmarshal(buf[:n])
 			if err != nil {
+				r.mRxGarbage.Inc()
 				continue // garbage datagram
 			}
+			r.mRxPackets.Inc()
 			select {
 			case in <- inbound{pkt: pkt, from: from}:
 			default: // backpressure: drop (loss-tolerant protocol)
+				r.mRxDropped.Inc()
 			}
 		}
 	}()
