@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	tackd serve  -listen :4500                         # receiving side
-//	tackd send   -to host:4500 -bytes 100M [-cc bbr]   # sending side
+//	tackd serve -listen :4500 [-flows 4]               # receiving side
+//	tackd send  -to host:4500 -bytes 100M [-flows 4]   # sending side
+//
+// One UDP socket carries every connection on each side: the server
+// accepts -flows connections (0 = serve forever) and the sender dials
+// -flows concurrent transfers, all demultiplexed by connection id.
 //
 // Both subcommands accept -trace out.jsonl (structured event trace for
 // cmd/tacktrace) and -json (machine-readable result on stdout). Progress
@@ -23,8 +27,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/tacktp/tack"
 	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
@@ -45,16 +51,16 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tackd serve -listen :4500 [-mode tack|legacy] [-trace out.jsonl] [-json]
-  tackd send  -to host:4500 -bytes 100M [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json]`)
+  tackd serve -listen :4500 [-flows 1] [-mode tack|legacy] [-trace out.jsonl] [-json]
+  tackd send  -to host:4500 -bytes 100M [-flows 1] [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json]`)
 	os.Exit(2)
 }
 
-func parseMode(s string) transport.Mode {
+func parseMode(s string) tack.Mode {
 	if strings.EqualFold(s, "legacy") {
-		return transport.ModeLegacy
+		return tack.ModeLegacy
 	}
-	return transport.ModeTACK
+	return tack.ModeTACK
 }
 
 // parseBytes accepts 1048576, 64K, 100M, 2G.
@@ -119,14 +125,24 @@ func (t *traceSink) close() error {
 	return t.f.Close()
 }
 
+// flowResult is one connection's outcome inside a -json document.
+type flowResult struct {
+	ConnID     uint32  `json:"conn_id"`
+	Bytes      int64   `json:"bytes"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	GoodputBps float64 `json:"goodput_bps"`
+}
+
 // result is the -json output document (one per run, on stdout).
 type result struct {
-	Role       string             `json:"role"`
-	Mode       string             `json:"mode"`
-	CC         string             `json:"cc,omitempty"`
-	Bytes      int64              `json:"bytes"`
-	ElapsedSec float64            `json:"elapsed_sec"`
-	GoodputBps float64            `json:"goodput_bps"`
+	Role       string `json:"role"`
+	Mode       string `json:"mode"`
+	CC         string `json:"cc,omitempty"`
+	Flows      int    `json:"flows"`
+	Bytes      int64  `json:"bytes"`
+	ElapsedSec float64
+	GoodputBps float64
+	PerFlow    []flowResult
 	Sender     *transport.SenderStats
 	Receiver   *transport.ReceiverStats
 	Metrics    telemetry.Snapshot `json:"metrics"`
@@ -138,9 +154,11 @@ func (r result) MarshalJSON() ([]byte, error) {
 		Role       string                   `json:"role"`
 		Mode       string                   `json:"mode"`
 		CC         string                   `json:"cc,omitempty"`
+		Flows      int                      `json:"flows"`
 		Bytes      int64                    `json:"bytes"`
 		ElapsedSec float64                  `json:"elapsed_sec"`
 		GoodputBps float64                  `json:"goodput_bps"`
+		PerFlow    []flowResult             `json:"per_flow,omitempty"`
 		Sender     *transport.SenderStats   `json:"sender,omitempty"`
 		Receiver   *transport.ReceiverStats `json:"receiver,omitempty"`
 		Metrics    telemetry.Snapshot       `json:"metrics"`
@@ -170,6 +188,7 @@ func fatal(err error) {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":4500", "UDP listen address")
+	flows := fs.Int("flows", 1, "connections to serve before exiting (0 = forever)")
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
 	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
@@ -179,49 +198,107 @@ func serve(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	reg := telemetry.NewRegistry()
-	cfg := transport.Config{Mode: parseMode(*mode), Tracer: sink.tracer(), Metrics: reg}
-	r, err := transport.NewUDPReceiverRunner(cfg, *listen, "")
+	reg := tack.NewMetrics()
+	cfg := tack.Config{Mode: parseMode(*mode), Tracer: sink.tracer(), Metrics: reg}
+	ep, err := tack.Listen(*listen, tack.EndpointConfig{Transport: cfg})
 	if err != nil {
 		fatal(err)
 	}
-	defer r.Close()
-	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s)\n", r.LocalAddr(), *mode)
+	defer ep.Close()
+	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s, flows=%d)\n", ep.LocalAddr(), *mode, *flows)
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		perFlow []flowResult
+		agg     transport.ReceiverStats
+		total   int64
+		end     time.Time // latest per-flow completion
+	)
 	start := time.Now()
-	if err := r.Run(0); err != nil {
-		fatal(err)
+	for i := 0; *flows == 0 || i < *flows; i++ {
+		c, err := ep.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			start = time.Now() // goodput clock runs from the first accept
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			if err := c.Wait(0); err != nil {
+				fmt.Fprintf(os.Stderr, "tackd: conn %d: %v\n", c.ConnID(), err)
+				return
+			}
+			// Wait returns after the completion linger; goodput is measured
+			// to the moment the last byte was delivered.
+			el := time.Since(t0)
+			done := c.CompletedAt()
+			if !done.IsZero() {
+				el = done.Sub(t0)
+			}
+			rcv := c.Receiver()
+			fmt.Fprintf(os.Stderr, "tackd: conn %d: received %d bytes in %v\n",
+				c.ConnID(), rcv.Delivered(), el.Round(time.Millisecond))
+			mu.Lock()
+			defer mu.Unlock()
+			if done.After(end) {
+				end = done
+			}
+			perFlow = append(perFlow, flowResult{
+				ConnID: c.ConnID(), Bytes: rcv.Delivered(), ElapsedSec: el.Seconds(),
+				GoodputBps: float64(rcv.Delivered()) * 8 / el.Seconds(),
+			})
+			total += rcv.Delivered()
+			s := rcv.Stats
+			agg.DataPackets += s.DataPackets
+			agg.TACKsSent += s.TACKsSent
+			agg.IACKsSent += s.IACKsSent
+			agg.LossIACKs += s.LossIACKs
+			agg.WindowIACKs += s.WindowIACKs
+		}()
 	}
+	wg.Wait()
 	el := time.Since(start)
+	if !end.IsZero() {
+		el = end.Sub(start)
+	}
 	if err := sink.close(); err != nil {
 		fatal(fmt.Errorf("trace: %w", err))
 	}
-	st := r.Receiver.Stats
 	res := result{
-		Role: "serve", Mode: *mode,
-		Bytes: r.Receiver.Delivered(), ElapsedSec: el.Seconds(),
-		GoodputBps: float64(r.Receiver.Delivered()) * 8 / el.Seconds(),
-		Receiver:   &st, Metrics: reg.Snapshot(),
+		Role: "serve", Mode: *mode, Flows: len(perFlow),
+		Bytes: total, ElapsedSec: el.Seconds(),
+		GoodputBps: float64(total) * 8 / el.Seconds(),
+		PerFlow:    perFlow, Receiver: &agg, Metrics: reg.Snapshot(),
 	}
 	emit(*jsonOut, res, func() {
-		fmt.Printf("received %d bytes in %v (%.2f Mbit/s)\n",
-			r.Receiver.Delivered(), el.Round(time.Millisecond), res.GoodputBps/1e6)
+		fmt.Printf("received %d bytes over %d flow(s) in %v (%.2f Mbit/s aggregate)\n",
+			total, len(perFlow), el.Round(time.Millisecond), res.GoodputBps/1e6)
 		fmt.Printf("data packets: %d, TACKs sent: %d, IACKs sent: %d (loss %d, window %d)\n",
-			st.DataPackets, st.TACKsSent, st.IACKsSent, st.LossIACKs, st.WindowIACKs)
+			agg.DataPackets, agg.TACKsSent, agg.IACKsSent, agg.LossIACKs, agg.WindowIACKs)
 	})
 }
 
 func send(args []string) {
 	fs := flag.NewFlagSet("send", flag.ExitOnError)
 	to := fs.String("to", "", "server address host:port")
-	bytesStr := fs.String("bytes", "64M", "transfer size (K/M/G suffixes)")
+	bytesStr := fs.String("bytes", "64M", "transfer size per flow (K/M/G suffixes)")
+	flows := fs.Int("flows", 1, "concurrent connections")
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
 	ccName := fs.String("cc", "bbr", "congestion controller")
-	timeout := fs.Duration("timeout", 10*time.Minute, "abort deadline")
+	timeout := fs.Duration("timeout", 10*time.Minute, "abort deadline per flow")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
 	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
 	fs.Parse(args)
 	if *to == "" {
 		usage()
+	}
+	if *flows < 1 {
+		fmt.Fprintln(os.Stderr, "bad -flows: need at least 1")
+		os.Exit(2)
 	}
 	size, err := parseBytes(*bytesStr)
 	if err != nil {
@@ -233,37 +310,74 @@ func send(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	reg := telemetry.NewRegistry()
-	cfg := transport.Config{
+	reg := tack.NewMetrics()
+	cfg := tack.Config{
 		Mode: parseMode(*mode), CC: *ccName, TransferBytes: size, RichTACK: true,
 		Tracer: sink.tracer(), Metrics: reg,
 	}
-	s, err := transport.NewUDPSenderRunner(cfg, ":0", *to)
+	ep, err := tack.Listen(":0", tack.EndpointConfig{Transport: cfg})
 	if err != nil {
 		fatal(err)
 	}
-	defer s.Close()
-	fmt.Fprintf(os.Stderr, "tackd: sending %d bytes to %s (mode=%s, cc=%s)\n", size, *to, *mode, *ccName)
+	defer ep.Close()
+	fmt.Fprintf(os.Stderr, "tackd: sending %d flow(s) x %d bytes to %s (mode=%s, cc=%s)\n",
+		*flows, size, *to, *mode, *ccName)
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		perFlow []flowResult
+		agg     transport.SenderStats
+	)
 	start := time.Now()
-	if err := s.Run(*timeout); err != nil {
-		fatal(err)
+	for i := 0; i < *flows; i++ {
+		c, err := ep.Dial(*to)
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			if err := c.Wait(*timeout); err != nil {
+				fmt.Fprintf(os.Stderr, "tackd: conn %d: %v\n", c.ConnID(), err)
+				return
+			}
+			el := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			perFlow = append(perFlow, flowResult{
+				ConnID: c.ConnID(), Bytes: size, ElapsedSec: el.Seconds(),
+				GoodputBps: float64(size) * 8 / el.Seconds(),
+			})
+			s := c.Sender().Stats
+			agg.DataPackets += s.DataPackets
+			agg.Retransmits += s.Retransmits
+			agg.Timeouts += s.Timeouts
+			agg.AcksReceived += s.AcksReceived
+		}()
 	}
+	wg.Wait()
 	el := time.Since(start)
 	if err := sink.close(); err != nil {
 		fatal(fmt.Errorf("trace: %w", err))
 	}
-	st := s.Sender.Stats
+	if len(perFlow) != *flows {
+		fatal(fmt.Errorf("%d of %d flows failed", *flows-len(perFlow), *flows))
+	}
+	total := size * int64(*flows)
 	res := result{
-		Role: "send", Mode: *mode, CC: *ccName,
-		Bytes: size, ElapsedSec: el.Seconds(),
-		GoodputBps: float64(size) * 8 / el.Seconds(),
-		Sender:     &st, Metrics: reg.Snapshot(),
+		Role: "send", Mode: *mode, CC: *ccName, Flows: *flows,
+		Bytes: total, ElapsedSec: el.Seconds(),
+		GoodputBps: float64(total) * 8 / el.Seconds(),
+		PerFlow:    perFlow, Sender: &agg, Metrics: reg.Snapshot(),
 	}
 	emit(*jsonOut, res, func() {
-		fmt.Printf("done in %v: %.2f Mbit/s goodput\n", el.Round(time.Millisecond), res.GoodputBps/1e6)
+		fmt.Printf("done in %v: %.2f Mbit/s aggregate goodput over %d flow(s)\n",
+			el.Round(time.Millisecond), res.GoodputBps/1e6, *flows)
 		fmt.Printf("data packets: %d (retx %d), acks received: %d (%.1f data:ack), timeouts: %d\n",
-			st.DataPackets, st.Retransmits, st.AcksReceived,
-			float64(st.DataPackets)/float64(max(1, st.AcksReceived)), st.Timeouts)
+			agg.DataPackets, agg.Retransmits, agg.AcksReceived,
+			float64(agg.DataPackets)/float64(max(1, agg.AcksReceived)), agg.Timeouts)
 	})
 }
 

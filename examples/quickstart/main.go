@@ -1,6 +1,7 @@
 // Quickstart: transfer a bounded stream between a TCP-TACK sender and
-// receiver over an in-memory emulated WAN path, then print the transfer
-// outcome and acknowledgment statistics.
+// receiver over real UDP sockets on loopback, using only the public
+// tack package, then print the transfer outcome and acknowledgment
+// statistics.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -8,56 +9,60 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"github.com/tacktp/tack/internal/sim"
-	"github.com/tacktp/tack/internal/topo"
-	"github.com/tacktp/tack/internal/transport"
+	"github.com/tacktp/tack"
 )
 
 func main() {
-	// A deterministic discrete-event loop drives everything.
-	loop := sim.NewLoop(42)
-
-	// 50 Mbit/s bottleneck, 40 ms RTT, light (0.5%) data-path loss.
-	path, fwd, _ := topo.WANPath(loop, topo.WANConfig{
-		RateBps:  50e6,
-		OWD:      20 * sim.Millisecond,
-		DataLoss: 0.005,
-	})
+	const size = 16 << 20 // 16 MiB
 
 	// TCP-TACK with the paper's defaults (β=4, L=2, rich TACKs, BBR).
-	cfg := transport.Config{
-		Mode:          transport.ModeTACK,
+	cfg := tack.Config{
+		Mode:          tack.ModeTACK,
 		CC:            "bbr",
 		RichTACK:      true,
-		TransferBytes: 16 << 20, // 16 MiB
+		TransferBytes: size,
 	}
-	flow, err := topo.NewFlow(loop, cfg, path)
+
+	// One endpoint serves every inbound connection on its socket.
+	srv, err := tack.Listen("127.0.0.1:0", tack.EndpointConfig{Transport: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	start := time.Now()
+	conn, err := tack.Dial(srv.LocalAddr().String(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := srv.Accept()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var doneAt sim.Time
-	flow.Sender.OnDone = func() { doneAt = loop.Now() }
-	flow.Start()
-	loop.RunUntil(60 * sim.Second)
-
-	if !flow.Sender.Done() {
-		log.Fatalf("transfer incomplete: %d/%d bytes acked",
-			flow.Sender.CumAcked(), cfg.TransferBytes)
+	// Wait for both halves: the sender finishes when every byte is
+	// acknowledged, the receiver shortly after its completion linger.
+	if err := conn.Wait(60 * time.Second); err != nil {
+		log.Fatalf("transfer failed: %v", err)
 	}
-	goodput := float64(cfg.TransferBytes) * 8 / doneAt.Seconds() / 1e6
-	snd, rcv := flow.Sender.Stats, flow.Receiver.Stats
+	elapsed := time.Since(start)
+	if err := served.Wait(30 * time.Second); err != nil {
+		log.Fatalf("server side: %v", err)
+	}
+
+	goodput := float64(size) * 8 / elapsed.Seconds() / 1e6
+	snd, rcv := conn.Sender().Stats, served.Receiver().Stats
 
 	fmt.Printf("transferred %d MiB in %v  (%.1f Mbit/s goodput)\n",
-		cfg.TransferBytes>>20, doneAt, goodput)
-	fmt.Printf("data packets: %d (retransmits %d, link drops shown below)\n",
+		size>>20, elapsed.Round(time.Millisecond), goodput)
+	fmt.Printf("data packets: %d (retransmits %d)\n",
 		snd.DataPackets, snd.Retransmits)
 	fmt.Printf("acknowledgments: %d TACKs + %d IACKs (%d loss, %d window) = 1 ack per %.1f data packets\n",
 		rcv.TACKsSent, rcv.IACKsSent, rcv.LossIACKs, rcv.WindowIACKs,
 		float64(rcv.DataPackets)/float64(rcv.AcksSent()))
-	fmt.Printf("link: %d sent, %d dropped by loss model\n", fwd.Sent, fwd.Dropped)
-	if min, ok := flow.Sender.RTTMin(); ok {
-		fmt.Printf("sender RTTmin estimate: %v (true floor 40ms + serialization)\n", min)
+	if min, ok := conn.Sender().RTTMin(); ok {
+		fmt.Printf("sender RTTmin estimate: %v\n", min)
 	}
 }

@@ -1,63 +1,104 @@
-// udptransfer: runs a real TCP-TACK transfer over UDP sockets on loopback
+// udptransfer: runs real TCP-TACK transfers over UDP sockets on loopback
 // — both endpoints in one process — and prints goodput plus the
 // data-to-acknowledgment ratio. This exercises the identical sans-IO
-// protocol engine the simulator drives, over the kernel's real UDP path.
+// protocol engine the simulator drives, over the kernel's real UDP path,
+// with any number of concurrent connections multiplexed on one server
+// socket.
 //
-// Run with: go run ./examples/udptransfer [-bytes 33554432] [-mode tack|legacy]
+// Run with: go run ./examples/udptransfer [-bytes 33554432] [-mode tack|legacy] [-flows 1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
-	"github.com/tacktp/tack/internal/transport"
+	"github.com/tacktp/tack"
 )
 
 func main() {
-	size := flag.Int64("bytes", 32<<20, "transfer size in bytes")
+	size := flag.Int64("bytes", 32<<20, "transfer size in bytes (per flow)")
 	mode := flag.String("mode", "tack", "protocol mode: tack or legacy")
+	flows := flag.Int("flows", 1, "concurrent connections")
 	flag.Parse()
 
-	m := transport.ModeTACK
+	m := tack.ModeTACK
 	if *mode == "legacy" {
-		m = transport.ModeLegacy
+		m = tack.ModeLegacy
 	}
+	cfg := tack.Config{Mode: m, TransferBytes: *size, CC: "bbr", RichTACK: true}
 
-	rcv, err := transport.NewUDPReceiverRunner(
-		transport.Config{Mode: m, TransferBytes: *size}, "127.0.0.1:0", "")
+	srv, err := tack.Listen("127.0.0.1:0", tack.EndpointConfig{Transport: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rcv.Close()
-
-	snd, err := transport.NewUDPSenderRunner(
-		transport.Config{Mode: m, TransferBytes: *size, CC: "bbr", RichTACK: true},
-		"127.0.0.1:0", rcv.LocalAddr().String())
+	defer srv.Close()
+	cli, err := tack.Listen("127.0.0.1:0", tack.EndpointConfig{Transport: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer snd.Close()
+	defer cli.Close()
 
-	errc := make(chan error, 1)
-	go func() { errc <- rcv.Run(2 * time.Minute) }()
+	served := make(chan *tack.Conn, *flows)
+	go func() {
+		for i := 0; i < *flows; i++ {
+			c, err := srv.Accept()
+			if err != nil {
+				log.Fatalf("accept: %v", err)
+			}
+			go func() {
+				if err := c.Wait(5 * time.Minute); err != nil {
+					log.Fatalf("server conn %d: %v", c.ConnID(), err)
+				}
+				served <- c
+			}()
+		}
+	}()
 
 	start := time.Now()
-	if err := snd.Run(2 * time.Minute); err != nil {
-		log.Fatalf("sender: %v", err)
+	var wg sync.WaitGroup
+	conns := make([]*tack.Conn, *flows)
+	for i := range conns {
+		c, err := cli.Dial(srv.LocalAddr().String())
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		conns[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Wait(5 * time.Minute); err != nil {
+				log.Fatalf("conn %d: %v", c.ConnID(), err)
+			}
+		}()
 	}
+	wg.Wait()
 	elapsed := time.Since(start)
-	rcv.Close()
-	<-errc
 
-	st := snd.Sender.Stats
-	rs := rcv.Receiver.Stats
-	fmt.Printf("mode=%s: %d MiB over loopback UDP in %v (%.0f Mbit/s)\n",
-		*mode, *size>>20, elapsed.Round(time.Millisecond),
-		float64(*size)*8/elapsed.Seconds()/1e6)
-	fmt.Printf("sender: %d data pkts (%d retx, %d timeouts), %d acks received\n",
+	total := *size * int64(*flows)
+	fmt.Printf("mode=%s: %d flow(s) x %d MiB over loopback UDP in %v (%.0f Mbit/s aggregate)\n",
+		*mode, *flows, *size>>20, elapsed.Round(time.Millisecond),
+		float64(total)*8/elapsed.Seconds()/1e6)
+	var st tack.SenderStats
+	for _, c := range conns {
+		s := c.Sender().Stats
+		st.DataPackets += s.DataPackets
+		st.Retransmits += s.Retransmits
+		st.Timeouts += s.Timeouts
+		st.AcksReceived += s.AcksReceived
+	}
+	fmt.Printf("senders: %d data pkts (%d retx, %d timeouts), %d acks received\n",
 		st.DataPackets, st.Retransmits, st.Timeouts, st.AcksReceived)
-	fmt.Printf("receiver: %d TACKs + %d IACKs => 1 ack per %.1f data packets\n",
+	var rs tack.ReceiverStats
+	for i := 0; i < *flows; i++ {
+		c := <-served
+		r := c.Receiver().Stats
+		rs.DataPackets += r.DataPackets
+		rs.TACKsSent += r.TACKsSent
+		rs.IACKsSent += r.IACKsSent
+	}
+	fmt.Printf("receivers: %d TACKs + %d IACKs => 1 ack per %.1f data packets\n",
 		rs.TACKsSent, rs.IACKsSent, float64(rs.DataPackets)/float64(rs.AcksSent()))
 }

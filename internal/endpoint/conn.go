@@ -1,0 +1,200 @@
+package endpoint
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+const (
+	// completeLinger keeps a completed receiver connection registered so
+	// tail retransmissions still get re-acknowledged (the sender may not
+	// have seen the final TACK yet).
+	completeLinger = time.Second
+	// closeLinger bounds how long a FIN-closed connection waits for the
+	// peer's FINACK before being torn down anyway.
+	closeLinger = 500 * time.Millisecond
+)
+
+// Conn is one connection half multiplexed on an Endpoint: a sans-IO
+// Sender (dialed connections) or Receiver (accepted connections) running
+// on a private sim.Loop whose virtual clock is pinned to wall time.
+//
+// All protocol state — including the Sender/Receiver state machines and
+// their Stats — is driven by the connection's owning shard goroutine.
+// Reading them is safe only after Wait (or Done) signals completion,
+// which happens-before the shard stops touching the connection.
+type Conn struct {
+	ep   *Endpoint
+	sh   *shard
+	id   uint32
+	peer *net.UDPAddr
+
+	loop    *sim.Loop
+	start   time.Time // wall anchor of the virtual clock
+	created time.Time
+
+	snd *transport.Sender
+	rcv *transport.Receiver
+
+	// Shard-owned lifecycle state: only the owning shard goroutine touches
+	// these after registration.
+	established   bool
+	closing       bool
+	closeDeadline time.Time
+	completeAt    time.Time
+	lastRecv      time.Time
+	lastSent      time.Time
+
+	estOnce   sync.Once
+	estCh     chan struct{}
+	doneOnce  sync.Once
+	doneCh    chan struct{}
+	closeOnce sync.Once
+	err       error // set before doneCh closes; read only after <-doneCh
+
+	// ownsEndpoint marks connections created by the package-level Dial,
+	// whose private endpoint is closed when the connection finishes.
+	ownsEndpoint bool
+}
+
+// newConn builds the shared connection scaffolding; the caller assigns
+// id + shard and attaches the protocol half.
+func (ep *Endpoint) newConn(peer *net.UDPAddr) *Conn {
+	now := time.Now()
+	return &Conn{
+		ep:       ep,
+		peer:     peer,
+		loop:     sim.NewLoop(now.UnixNano()),
+		start:    now,
+		created:  now,
+		lastRecv: now,
+		lastSent: now,
+		estCh:    make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// vnow maps wall clock onto the connection's virtual clock.
+func (c *Conn) vnow() sim.Time { return sim.Time(time.Since(c.start)) }
+
+// advance runs the connection's timers up to the current wall time.
+func (c *Conn) advance() { c.loop.RunUntil(c.vnow()) }
+
+// output transmits a protocol packet to the peer. Runs on the shard
+// goroutine (loop callbacks execute there); socket writes are safe
+// concurrently across shards.
+func (c *Conn) output(p *packet.Packet) {
+	c.lastSent = time.Now()
+	if _, err := c.ep.conn.WriteToUDP(p.Marshal(), c.peer); err != nil {
+		c.ep.mTxErrors.Inc()
+	}
+}
+
+// finish closes doneCh exactly once with the given terminal error.
+func (c *Conn) finish(err error) {
+	c.doneOnce.Do(func() {
+		c.err = err
+		close(c.doneCh)
+		if c.ownsEndpoint {
+			// Close must not run on the shard goroutine (it waits for it).
+			go c.ep.Close()
+		}
+	})
+}
+
+// waitErr returns the terminal error; call only after doneCh is closed.
+func (c *Conn) waitErr() error { return c.err }
+
+// ConnID returns the connection id carried by every packet of this
+// connection.
+func (c *Conn) ConnID() uint32 { return c.id }
+
+// RemoteAddr returns the peer's UDP address.
+func (c *Conn) RemoteAddr() *net.UDPAddr { return c.peer }
+
+// LocalAddr returns the endpoint's bound UDP address.
+func (c *Conn) LocalAddr() *net.UDPAddr { return c.ep.LocalAddr() }
+
+// Sender returns the sending half (nil on accepted connections). Safe to
+// read concurrently only after Wait/Done reports completion.
+func (c *Conn) Sender() *transport.Sender { return c.snd }
+
+// Receiver returns the receiving half (nil on dialed connections). Safe
+// to read concurrently only after Wait/Done reports completion.
+func (c *Conn) Receiver() *transport.Receiver { return c.rcv }
+
+// CompletedAt returns the wall time the receiving half finished its
+// transfer — before the completion linger that keeps the connection
+// re-acknowledging tail retransmissions — or the zero time if the
+// connection never completed (sender half, failure, or still running).
+// Valid once Done is closed.
+func (c *Conn) CompletedAt() time.Time { return c.completeAt }
+
+// Done returns a channel closed when the connection terminates (transfer
+// complete, closed, reaped, or endpoint shutdown).
+func (c *Conn) Done() <-chan struct{} { return c.doneCh }
+
+// Err returns the terminal error (nil for a clean completion or graceful
+// close). Valid once Done is closed.
+func (c *Conn) Err() error {
+	select {
+	case <-c.doneCh:
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// Wait blocks until the connection terminates or d elapses (d <= 0 waits
+// without bound). It returns the terminal error: nil for a completed
+// transfer or graceful close, ErrDeadline when d elapsed first.
+func (c *Conn) Wait(d time.Duration) error {
+	var deadline <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-c.doneCh:
+		return c.err
+	case <-deadline:
+		return ErrDeadline
+	}
+}
+
+// Close tears the connection down. A mid-transfer sending connection
+// closes gracefully: a FIN is emitted and the connection lingers briefly
+// for the peer's FINACK. Close is idempotent and safe from any goroutine.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		select {
+		case c.sh.in <- shardMsg{op: opClose, conn: c}:
+		case <-c.ep.stop:
+			c.finish(ErrClosed)
+		}
+	})
+	return nil
+}
+
+// DialAddr opens a standalone sending connection to raddr: a private
+// single-shard endpoint is bound to an ephemeral port and closed
+// automatically when the connection finishes. Use Endpoint.Dial to
+// multiplex many connections over one socket.
+func DialAddr(raddr string, tcfg transport.Config) (*Conn, error) {
+	ep, err := Listen(":0", Config{Transport: tcfg, Shards: 1})
+	if err != nil {
+		return nil, err
+	}
+	c, err := ep.dial(raddr, true)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,409 @@
+// Package endpoint implements a concurrent multi-connection UDP endpoint:
+// one socket serving many TACK connections, demultiplexed by the wire
+// format's connection id (packet.ConnID).
+//
+// This is the deployment shape of the paper's user-mode stack (§5.4) grown
+// from "one socket, one flow" to a server: QUIC-style endpoints show the
+// pattern — a handshake-gated accept queue and per-connection state behind
+// a single UDP socket.
+//
+// Architecture:
+//
+//	           ┌──────────────┐    hash(ConnID) % N     ┌─────────────┐
+//	 UDP ───▶  │ read goroutine│ ───────────────────▶   │  shard 0..N │
+//	 socket    │ (unmarshal)  │     bounded channel     │  goroutine  │
+//	           └──────────────┘  (overflow == drop: the └─────────────┘
+//	                              protocol is loss-       │ owns conns
+//	                              tolerant)               │ map + loops
+//	                                                      ▼
+//	                                         per-conn sans-IO Sender /
+//	                                         Receiver on a private
+//	                                         sim.Loop pinned to wall time
+//
+// Each connection's protocol engine runs on exactly one shard goroutine —
+// the engines keep their single-threaded discipline, and the dispatch hot
+// path needs no lock at all: routing is a pure hash of the connection id
+// and every shard owns its connection table exclusively. Cross-goroutine
+// operations (Dial registration, user Close) travel through the shard's
+// channel as control messages.
+//
+// Lifecycle: inbound SYNs create embryonic connections that reach Accept
+// only once the handshake completes (first non-SYN packet); Dial blocks
+// until the SYN/SYNACK exchange finishes; Close performs a graceful
+// FIN/FINACK teardown; idle connections and stale embryos are reaped by a
+// per-shard timer. A shared endpoint must also sanity-check receiver
+// feedback before acting on it (cf. misbehaving-receiver / optimistic-ACK
+// attacks): acknowledgments claiming bytes that were never sent are
+// dropped and counted instead of inflating the congestion controller.
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/telemetry"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// Sentinel errors returned by endpoint operations.
+var (
+	// ErrClosed reports that the endpoint (or the connection's endpoint)
+	// was closed.
+	ErrClosed = errors.New("endpoint: closed")
+	// ErrHandshakeTimeout reports that a dialed connection saw no SYNACK
+	// within Config.HandshakeTimeout.
+	ErrHandshakeTimeout = errors.New("endpoint: handshake timeout")
+	// ErrIdleTimeout reports that a connection was reaped after
+	// Config.IdleTimeout without inbound traffic.
+	ErrIdleTimeout = errors.New("endpoint: idle timeout")
+	// ErrDeadline reports that a wait's deadline elapsed.
+	ErrDeadline = errors.New("endpoint: deadline exceeded")
+)
+
+// Config parameterizes an Endpoint.
+type Config struct {
+	// Transport is the per-connection template; ConnID is overwritten per
+	// connection. Accepted connections run the Receiver half, dialed
+	// connections the Sender half, both built from this template.
+	Transport transport.Config
+	// Shards is the number of worker goroutines connections are pinned to
+	// (by ConnID hash). Default min(GOMAXPROCS, 8).
+	Shards int
+	// AcceptBacklog bounds the handshake-gated accept queue (default 128).
+	// Connections completing their handshake while the queue is full are
+	// dropped and counted (ep.accept_drops).
+	AcceptBacklog int
+	// IdleTimeout reaps established connections after this long without
+	// inbound traffic. Default 30s; negative disables.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds both Dial's wait for a SYNACK and the
+	// lifetime of embryonic (accepted-but-unestablished) server state.
+	// Default 5s.
+	HandshakeTimeout time.Duration
+	// KeepaliveInterval, when positive, makes dialed (sender) connections
+	// emit a keepalive IACK after this long without transmitting, keeping
+	// the peer's idle reaper at bay during app-paced silences.
+	KeepaliveInterval time.Duration
+	// Metrics registers endpoint-level instruments (nil falls back to
+	// Transport.Metrics; both nil disables).
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 128
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = c.Transport.Metrics
+	}
+	return c
+}
+
+// Endpoint is a multi-connection UDP endpoint: one socket, many
+// connections demultiplexed by ConnID across sharded worker loops.
+type Endpoint struct {
+	cfg  Config
+	conn *net.UDPConn
+
+	shards []*shard
+	accept chan *Conn
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// ConnID allocation (cold path).
+	mu   sync.Mutex
+	rng  *rand.Rand
+	used map[uint32]*Conn
+
+	nConns atomic.Int64
+
+	// Endpoint telemetry (nil-safe).
+	mConns       *telemetry.Gauge
+	mRxPackets   *telemetry.Counter
+	mRxGarbage   *telemetry.Counter
+	mTxErrors    *telemetry.Counter
+	mDemuxDrops  *telemetry.Counter
+	mAcceptDrops *telemetry.Counter
+	mBadFeedback *telemetry.Counter
+	mReaped      *telemetry.Counter
+	mDials       *telemetry.Counter
+	mAccepts     *telemetry.Counter
+	mHandshake   *telemetry.Histogram
+}
+
+// Listen binds a UDP socket on laddr and starts the endpoint's read loop
+// and shard workers. The endpoint both accepts inbound connections
+// (Accept) and originates outbound ones (Dial) over the same socket.
+func Listen(laddr string, cfg Config) (*Endpoint, error) {
+	if err := cfg.Transport.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	la, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: resolve %q: %w", laddr, err)
+	}
+	sock, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: listen %q: %w", laddr, err)
+	}
+	// One socket now carries many connections: grow the kernel buffers so
+	// concurrent initial windows don't silently vanish before the read
+	// loop drains them (best-effort; the OS may clamp).
+	sock.SetReadBuffer(4 << 20)
+	sock.SetWriteBuffer(4 << 20)
+	ep := &Endpoint{
+		cfg:    cfg,
+		conn:   sock,
+		accept: make(chan *Conn, cfg.AcceptBacklog),
+		stop:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		used:   map[uint32]*Conn{},
+	}
+	reg := cfg.Metrics
+	ep.mConns = reg.Gauge("ep.conns")
+	ep.mRxPackets = reg.Counter("ep.rx_packets")
+	ep.mRxGarbage = reg.Counter("ep.rx_garbage")
+	ep.mTxErrors = reg.Counter("ep.tx_errors")
+	ep.mDemuxDrops = reg.Counter("ep.demux_drops")
+	ep.mAcceptDrops = reg.Counter("ep.accept_drops")
+	ep.mBadFeedback = reg.Counter("ep.bad_feedback")
+	ep.mReaped = reg.Counter("ep.reaped")
+	ep.mDials = reg.Counter("ep.dials")
+	ep.mAccepts = reg.Counter("ep.accepts")
+	ep.mHandshake = reg.Histogram("ep.handshake_s")
+
+	ep.shards = make([]*shard, cfg.Shards)
+	for i := range ep.shards {
+		ep.shards[i] = newShard(ep)
+	}
+	for _, sh := range ep.shards {
+		ep.wg.Add(1)
+		go sh.run()
+	}
+	ep.wg.Add(1)
+	go ep.readLoop()
+	return ep, nil
+}
+
+// LocalAddr returns the bound UDP address.
+func (ep *Endpoint) LocalAddr() *net.UDPAddr { return ep.conn.LocalAddr().(*net.UDPAddr) }
+
+// ConnCount returns the number of live connections (including embryonic
+// and draining ones).
+func (ep *Endpoint) ConnCount() int { return int(ep.nConns.Load()) }
+
+// shardFor routes a connection id to its shard (Knuth multiplicative
+// hash; pure function, no lock — this is the demux hot path).
+func (ep *Endpoint) shardFor(id uint32) *shard {
+	h := id * 2654435761
+	return ep.shards[h%uint32(len(ep.shards))]
+}
+
+// readLoop pulls datagrams off the socket, decodes them, and routes them
+// to the owning shard. Overflowing a shard's channel drops the packet
+// (backpressure surfaces as loss; the protocol recovers).
+func (ep *Endpoint) readLoop() {
+	defer ep.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ep.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient socket error: count as garbage and keep serving.
+			ep.mRxGarbage.Inc()
+			continue
+		}
+		pkt, err := packet.Unmarshal(buf[:n])
+		if err != nil {
+			ep.mRxGarbage.Inc()
+			continue
+		}
+		ep.mRxPackets.Inc()
+		sh := ep.shardFor(pkt.ConnID)
+		select {
+		case sh.in <- shardMsg{op: opPacket, pkt: pkt, from: from}:
+		default:
+			ep.mDemuxDrops.Inc()
+		}
+	}
+}
+
+// Accept blocks until an inbound connection completes its handshake, the
+// endpoint closes (ErrClosed), or — when deadline > 0 — the deadline
+// elapses (ErrDeadline).
+func (ep *Endpoint) Accept() (*Conn, error) { return ep.AcceptTimeout(0) }
+
+// AcceptTimeout is Accept with a bound on the wait (0 = no bound).
+func (ep *Endpoint) AcceptTimeout(d time.Duration) (*Conn, error) {
+	var deadline <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case c := <-ep.accept:
+		return c, nil
+	case <-ep.stop:
+		return nil, ErrClosed
+	case <-deadline:
+		return nil, ErrDeadline
+	}
+}
+
+// Dial opens a sending connection to raddr using the endpoint's transport
+// template and blocks until the handshake completes (or
+// Config.HandshakeTimeout / endpoint close aborts it). The transfer
+// itself — bounded by Transport.TransferBytes or app-paced — starts
+// immediately after establishment; wait for completion with Conn.Wait.
+func (ep *Endpoint) Dial(raddr string) (*Conn, error) { return ep.dial(raddr, false) }
+
+func (ep *Endpoint) dial(raddr string, owns bool) (*Conn, error) {
+	c, err := ep.newSenderConn(raddr, ep.cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	c.ownsEndpoint = owns
+	if err := ep.register(c); err != nil {
+		ep.releaseID(c.id)
+		return nil, err
+	}
+	ep.mDials.Inc()
+	t := time.NewTimer(ep.cfg.HandshakeTimeout)
+	defer t.Stop()
+	select {
+	case <-c.estCh:
+		return c, nil
+	case <-c.doneCh:
+		return nil, c.waitErr()
+	case <-t.C:
+		c.Close()
+		<-c.doneCh // teardown is complete before reporting failure
+		return nil, ErrHandshakeTimeout
+	case <-ep.stop:
+		return nil, ErrClosed
+	}
+}
+
+// newSenderConn builds (without registering) a sending connection toward
+// raddr with a freshly allocated connection id.
+func (ep *Endpoint) newSenderConn(raddr string, tcfg transport.Config) (*Conn, error) {
+	ra, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: resolve %q: %w", raddr, err)
+	}
+	c := ep.newConn(ra)
+	c.id = ep.allocID(c)
+	c.sh = ep.shardFor(c.id)
+	tcfg.ConnID = c.id
+	snd, err := transport.NewSender(c.loop, tcfg, c.output)
+	if err != nil {
+		ep.releaseID(c.id)
+		return nil, err
+	}
+	c.snd = snd
+	return c, nil
+}
+
+// allocID reserves a locally unique non-zero connection id for c.
+func (ep *Endpoint) allocID(c *Conn) uint32 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		id := ep.rng.Uint32()
+		if id == 0 {
+			continue
+		}
+		if _, taken := ep.used[id]; taken {
+			continue
+		}
+		ep.used[id] = c
+		return id
+	}
+}
+
+// reserveID claims an inbound (peer-chosen) id; reports false when a live
+// connection already owns it.
+func (ep *Endpoint) reserveID(id uint32, c *Conn) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if _, taken := ep.used[id]; taken {
+		return false
+	}
+	ep.used[id] = c
+	return true
+}
+
+func (ep *Endpoint) releaseID(id uint32) {
+	ep.mu.Lock()
+	delete(ep.used, id)
+	ep.mu.Unlock()
+}
+
+// register hands a dialed connection to its owning shard, which starts
+// the handshake on its loop.
+func (ep *Endpoint) register(c *Conn) error {
+	select {
+	case c.sh.in <- shardMsg{op: opRegister, conn: c}:
+		return nil
+	case <-ep.stop:
+		return ErrClosed
+	}
+}
+
+// connAdded / connRemoved maintain the live-connection count and gauge.
+// Called only from shard goroutines; the gauge tolerates the benign race
+// between shards (last write wins on a monotonic-enough signal).
+func (ep *Endpoint) connAdded()   { ep.mConns.Set(float64(ep.nConns.Add(1))) }
+func (ep *Endpoint) connRemoved() { ep.mConns.Set(float64(ep.nConns.Add(-1))) }
+
+func (ep *Endpoint) isClosed() bool {
+	select {
+	case <-ep.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the endpoint down: the socket closes, shard workers finish
+// every connection (their Wait unblocks with ErrClosed), and Accept/Dial
+// return ErrClosed. Safe to call multiple times.
+func (ep *Endpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		close(ep.stop)
+		ep.conn.Close()
+	})
+	ep.wg.Wait()
+	return nil
+}
+
+// Metrics returns the endpoint's metrics registry (possibly nil).
+func (ep *Endpoint) Metrics() *telemetry.Registry { return ep.cfg.Metrics }

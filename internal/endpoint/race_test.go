@@ -1,0 +1,108 @@
+package endpoint
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// TestEndpointConcurrentDialClose hammers the lifecycle under the race
+// detector: 32 connections dialed concurrently against one server
+// endpoint, half of them closed mid-transfer from a different goroutine,
+// every connection and both endpoints closed twice. It then asserts that
+// no goroutines leaked and that no double-close panicked.
+func TestEndpointConcurrentDialClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const (
+		nConns = 32
+		size   = 2 << 20 // big enough that half the conns die mid-transfer
+	)
+	tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
+	// A generous handshake timeout: 32 concurrent initial windows through
+	// one loopback socket pair under the race detector can push first
+	// deliveries behind several RTO retransmissions.
+	srv, err := Listen("127.0.0.1:0", Config{Transport: tcfg, HandshakeTimeout: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Listen("127.0.0.1:0", Config{Transport: tcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var acceptWG sync.WaitGroup
+	acceptWG.Add(1)
+	go func() {
+		defer acceptWG.Done()
+		for i := 0; i < nConns; i++ {
+			c, err := srv.AcceptTimeout(20 * time.Second)
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			// Server halves are abandoned to the endpoint's lifecycle
+			// machinery: completion linger, FIN handling, or idle reaping
+			// must clean every one of them up without user help.
+			_ = c
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nConns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := cli.Dial(srv.LocalAddr().String())
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			if i%2 == 0 {
+				// Close mid-transfer from this goroutine while the shard
+				// is actively pumping the connection.
+				time.Sleep(time.Duration(1+i%5) * 10 * time.Millisecond)
+				c.Close()
+				c.Close() // double close must be a no-op
+				if err := c.Wait(10 * time.Second); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("conn %d after close: %v", i, err)
+				}
+				return
+			}
+			if err := c.Wait(60 * time.Second); err != nil {
+				t.Errorf("conn %d: %v", i, err)
+				return
+			}
+			c.Close()
+			c.Close()
+		}(i)
+	}
+	wg.Wait()
+	acceptWG.Wait()
+
+	// Double-close of both endpoints must be safe too.
+	if err := cli.Close(); err != nil {
+		t.Errorf("client close: %v", err)
+	}
+	cli.Close()
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	srv.Close()
+
+	// Every runner goroutine (read loops, shards) must have exited.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,288 @@
+package endpoint
+
+import (
+	"net"
+	"time"
+
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// opKind discriminates shard control messages.
+type opKind uint8
+
+const (
+	opPacket   opKind = iota // inbound datagram for this shard's conns
+	opRegister               // attach a freshly dialed connection
+	opClose                  // user-initiated connection close
+)
+
+// shardMsg is one unit of work on a shard's channel.
+type shardMsg struct {
+	op   opKind
+	pkt  *packet.Packet
+	from *net.UDPAddr
+	conn *Conn
+}
+
+// shard owns a partition of the endpoint's connections. The conns map and
+// every connection's protocol state are touched exclusively by the
+// shard's goroutine — the dispatch path is lock-free by ownership.
+type shard struct {
+	ep    *Endpoint
+	in    chan shardMsg
+	conns map[uint32]*Conn
+}
+
+func newShard(ep *Endpoint) *shard {
+	return &shard{ep: ep, in: make(chan shardMsg, 1024), conns: map[uint32]*Conn{}}
+}
+
+// run is the shard worker: it serializes inbound packets, control
+// messages, and a 1 ms lifecycle tick (the same granularity the
+// single-connection runner used for its virtual clock).
+func (sh *shard) run() {
+	defer sh.ep.wg.Done()
+	defer sh.shutdown()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.ep.stop:
+			return
+		case m := <-sh.in:
+			sh.handle(m)
+		case <-tick.C:
+			sh.tick()
+		}
+	}
+}
+
+func (sh *shard) handle(m shardMsg) {
+	switch m.op {
+	case opPacket:
+		sh.onPacket(m.pkt, m.from)
+	case opRegister:
+		c := m.conn
+		sh.conns[c.id] = c
+		sh.ep.connAdded()
+		c.advance()
+		c.snd.Start()
+	case opClose:
+		sh.closeConn(m.conn)
+	}
+}
+
+// onPacket is the demux hot path: route by ConnID, validate the source,
+// dispatch into the sans-IO engine.
+func (sh *shard) onPacket(p *packet.Packet, from *net.UDPAddr) {
+	c := sh.conns[p.ConnID]
+	if c == nil {
+		sh.acceptSYN(p, from)
+		return
+	}
+	if !addrEqual(from, c.peer) {
+		// No connection migration: a known ConnID from a different source
+		// is either a stale peer or spoofing. Drop.
+		sh.ep.mDemuxDrops.Inc()
+		return
+	}
+	c.lastRecv = time.Now()
+	c.advance()
+	if c.snd != nil {
+		if a := p.Ack; a != nil && a.CumAck > c.snd.SentSeq() {
+			// Misbehaving-receiver guard: an optimistic acknowledgment
+			// claims bytes never sent; acting on it would inflate the
+			// congestion controller (receiver-driven DoS).
+			sh.ep.mBadFeedback.Inc()
+			return
+		}
+		c.snd.OnPacket(p)
+	}
+	if c.rcv != nil {
+		c.rcv.OnPacket(p)
+	}
+	if c.closing && p.Type == packet.TypeFINACK {
+		sh.remove(c, nil) // graceful close confirmed
+		return
+	}
+	sh.postDispatch(c, p)
+}
+
+// acceptSYN creates an embryonic server connection for an unknown ConnID.
+// Non-SYN packets for unknown connections are demux drops.
+func (sh *shard) acceptSYN(p *packet.Packet, from *net.UDPAddr) {
+	if p.Type != packet.TypeSYN {
+		sh.ep.mDemuxDrops.Inc()
+		return
+	}
+	c := sh.ep.newConn(from)
+	c.id = p.ConnID
+	c.sh = sh
+	if !sh.ep.reserveID(c.id, c) {
+		// A live local connection already owns this id (e.g. a dialed conn
+		// not yet registered); treat the SYN as unroutable.
+		sh.ep.mDemuxDrops.Inc()
+		return
+	}
+	tcfg := sh.ep.cfg.Transport
+	tcfg.ConnID = c.id
+	c.rcv = transport.NewReceiver(c.loop, tcfg, c.output)
+	sh.conns[c.id] = c
+	sh.ep.connAdded()
+	c.advance()
+	c.rcv.OnPacket(p) // emits the SYNACK
+}
+
+// postDispatch advances connection lifecycle after a packet was handled:
+// handshake completion (gating Accept), then transfer completion.
+func (sh *shard) postDispatch(c *Conn, p *packet.Packet) {
+	if !c.established {
+		if c.snd != nil && c.snd.Established() {
+			sh.establish(c)
+		} else if c.rcv != nil && p.Type != packet.TypeSYN {
+			// Server side: the first post-SYN packet (handshake IACK or
+			// data) proves the peer saw our SYNACK — handshake complete.
+			sh.establish(c)
+			select {
+			case sh.ep.accept <- c:
+				sh.ep.mAccepts.Inc()
+			default:
+				// Accept backlog full: shed the connection rather than
+				// hold state nobody will claim.
+				sh.ep.mAcceptDrops.Inc()
+				sh.remove(c, ErrClosed)
+				return
+			}
+		}
+	}
+	sh.checkDone(c)
+}
+
+func (sh *shard) establish(c *Conn) {
+	c.established = true
+	sh.ep.mHandshake.Observe(time.Since(c.created).Seconds())
+	c.estOnce.Do(func() { close(c.estCh) })
+}
+
+// checkDone detects transfer completion. Sender connections are removed
+// as soon as every byte is acknowledged; receiver connections linger for
+// completeLinger so tail retransmissions still get re-acknowledged.
+func (sh *shard) checkDone(c *Conn) {
+	if c.closing {
+		return
+	}
+	if c.snd != nil && c.snd.Done() {
+		sh.remove(c, nil)
+		return
+	}
+	if c.rcv != nil && c.rcv.Complete() && c.completeAt.IsZero() {
+		c.completeAt = time.Now()
+	}
+}
+
+// tick drives every connection's virtual clock forward and applies the
+// lifecycle policies: linger expiry, embryo reaping, idle timeout,
+// keepalive.
+func (sh *shard) tick() {
+	now := time.Now()
+	ep := sh.ep
+	for _, c := range sh.conns {
+		c.advance()
+		sh.checkDone(c)
+		if sh.conns[c.id] != c {
+			continue // removed by checkDone
+		}
+		switch {
+		case c.closing && now.After(c.closeDeadline):
+			sh.remove(c, nil) // FINACK never came; tear down anyway
+		case !c.completeAt.IsZero() && now.Sub(c.completeAt) > completeLinger:
+			sh.remove(c, nil)
+		case !c.established && c.rcv != nil && now.Sub(c.created) > ep.cfg.HandshakeTimeout:
+			// Stale embryo: the SYN's sender never completed the
+			// handshake. (Dialed connections are governed by Dial's own
+			// handshake timer.)
+			ep.mReaped.Inc()
+			sh.remove(c, ErrHandshakeTimeout)
+		case ep.cfg.IdleTimeout > 0 && c.established && now.Sub(c.lastRecv) > ep.cfg.IdleTimeout:
+			ep.mReaped.Inc()
+			sh.remove(c, ErrIdleTimeout)
+		default:
+			sh.maybeKeepalive(c, now)
+		}
+	}
+}
+
+// maybeKeepalive emits a liveness-probe IACK on dialed connections that
+// have been transmit-idle for a keepalive interval.
+func (sh *shard) maybeKeepalive(c *Conn, now time.Time) {
+	ka := sh.ep.cfg.KeepaliveInterval
+	if ka <= 0 || c.snd == nil || !c.established || now.Sub(c.lastSent) < ka {
+		return
+	}
+	c.output(&packet.Packet{
+		Type: packet.TypeIACK, ConnID: c.id, SentAt: c.vnow(),
+		IACK: packet.IACKKeepalive, AckOldestPktSeq: c.snd.OldestOutstanding(),
+	})
+}
+
+// closeConn implements a user-initiated Close on the owning shard. A
+// mid-transfer sender closes gracefully (FIN, linger for FINACK); all
+// other shapes tear down immediately.
+func (sh *shard) closeConn(c *Conn) {
+	if sh.conns[c.id] != c {
+		c.finish(nil) // already removed (or never registered)
+		return
+	}
+	if c.snd != nil && c.established && !c.snd.Done() && !c.closing {
+		c.advance()
+		c.output(&packet.Packet{
+			Type: packet.TypeFIN, ConnID: c.id, SentAt: c.vnow(),
+			Seq: c.snd.SentSeq(),
+		})
+		c.closing = true
+		c.closeDeadline = time.Now().Add(closeLinger)
+		c.finish(nil)
+		return
+	}
+	sh.remove(c, nil)
+}
+
+// remove deletes the connection from the shard table (idempotent) and
+// signals its terminal state.
+func (sh *shard) remove(c *Conn, err error) {
+	if sh.conns[c.id] == c {
+		delete(sh.conns, c.id)
+		sh.ep.connRemoved()
+	}
+	sh.ep.releaseID(c.id)
+	c.finish(err)
+}
+
+// shutdown finishes every connection when the endpoint closes, then
+// drains queued control messages so pending Dial/Close callers unblock.
+func (sh *shard) shutdown() {
+	for id, c := range sh.conns {
+		delete(sh.conns, id)
+		sh.ep.connRemoved()
+		sh.ep.releaseID(id)
+		c.finish(ErrClosed)
+	}
+	for {
+		select {
+		case m := <-sh.in:
+			if m.conn != nil {
+				sh.ep.releaseID(m.conn.id)
+				m.conn.finish(ErrClosed)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// addrEqual compares UDP source addresses (IP + port; IPv4 and its
+// v6-mapped form compare equal).
+func addrEqual(a, b *net.UDPAddr) bool {
+	return a != nil && b != nil && a.Port == b.Port && a.IP.Equal(b.IP)
+}

@@ -1,0 +1,58 @@
+package endpoint
+
+import (
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// SimServer is the in-simulation analogue of Endpoint's demux: a sans-IO
+// multi-connection server for deterministic experiments. Packets are
+// routed by ConnID to per-connection Receivers; unknown connection ids
+// are accepted on SYN (the reply callback passed with the SYN becomes
+// the connection's transmit path) and dropped otherwise.
+//
+// It runs entirely on the caller's sim.Loop and goroutine — no sockets,
+// no shards — so multi-flow topologies (e.g. many STAs contending for
+// one AP) can share a virtual clock.
+type SimServer struct {
+	loop  *sim.Loop
+	cfg   transport.Config
+	conns map[uint32]*transport.Receiver
+	drops int
+}
+
+// NewSimServer builds a demuxing server; cfg is the per-connection
+// template (ConnID is overwritten per connection).
+func NewSimServer(loop *sim.Loop, cfg transport.Config) *SimServer {
+	return &SimServer{loop: loop, cfg: cfg, conns: map[uint32]*transport.Receiver{}}
+}
+
+// OnPacket dispatches one inbound packet. reply is the transmit path
+// back toward this packet's sender; it is captured when a SYN creates
+// the connection and must therefore route by ConnID if the underlying
+// medium has multiple peers.
+func (s *SimServer) OnPacket(p *packet.Packet, reply func(*packet.Packet)) {
+	r := s.conns[p.ConnID]
+	if r == nil {
+		if p.Type != packet.TypeSYN {
+			s.drops++
+			return
+		}
+		tcfg := s.cfg
+		tcfg.ConnID = p.ConnID
+		r = transport.NewReceiver(s.loop, tcfg, reply)
+		s.conns[p.ConnID] = r
+	}
+	r.OnPacket(p)
+}
+
+// Receiver returns the per-connection receiver (nil if the connection
+// was never accepted).
+func (s *SimServer) Receiver(id uint32) *transport.Receiver { return s.conns[id] }
+
+// ConnCount returns the number of accepted connections.
+func (s *SimServer) ConnCount() int { return len(s.conns) }
+
+// Drops returns the count of non-SYN packets for unknown connections.
+func (s *SimServer) Drops() int { return s.drops }

@@ -1,0 +1,171 @@
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// Role selects which connection half a UDPRunner drives.
+type Role int
+
+const (
+	// RoleSender dials the peer and transmits the stream.
+	RoleSender Role = iota
+	// RoleReceiver accepts one inbound connection and receives the stream.
+	RoleReceiver
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSender:
+		return "sender"
+	case RoleReceiver:
+		return "receiver"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// RunnerOption configures NewUDPRunner.
+type RunnerOption func(*runnerOpts)
+
+type runnerOpts struct {
+	laddr string
+	peer  string
+}
+
+// WithLocalAddr binds the runner's socket to laddr (default ":0").
+func WithLocalAddr(laddr string) RunnerOption {
+	return func(o *runnerOpts) { o.laddr = laddr }
+}
+
+// WithPeer sets the remote address a sending runner dials. Required for
+// RoleSender; ignored for RoleReceiver (the peer is learned from the
+// inbound handshake).
+func WithPeer(raddr string) RunnerOption {
+	return func(o *runnerOpts) { o.peer = raddr }
+}
+
+// UDPRunner drives one connection half over a real UDP socket. It is a
+// thin single-connection convenience over Endpoint: the socket binds at
+// construction, and Run performs the dial (RoleSender) or accept
+// (RoleReceiver) plus the transfer.
+//
+// The Sender/Receiver fields expose the connection's protocol half once
+// Run has established it; read their stats only after Run returns.
+type UDPRunner struct {
+	ep   *Endpoint
+	role Role
+	peer string
+
+	conn *Conn
+
+	Sender   *transport.Sender
+	Receiver *transport.Receiver
+}
+
+// NewUDPRunner builds a single-connection runner for the given role.
+// RoleSender requires WithPeer; both roles accept WithLocalAddr.
+func NewUDPRunner(cfg transport.Config, role Role, opts ...RunnerOption) (*UDPRunner, error) {
+	var o runnerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.laddr == "" {
+		o.laddr = ":0"
+	}
+	if role == RoleSender {
+		if o.peer == "" {
+			return nil, errors.New("endpoint: sender runner needs WithPeer")
+		}
+		if _, err := net.ResolveUDPAddr("udp", o.peer); err != nil {
+			return nil, fmt.Errorf("endpoint: resolve remote %q: %w", o.peer, err)
+		}
+	}
+	ep, err := Listen(o.laddr, Config{Transport: cfg, Shards: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &UDPRunner{ep: ep, role: role, peer: o.peer}, nil
+}
+
+// NewUDPSenderRunner builds a sending endpoint bound to laddr,
+// transmitting to raddr.
+//
+// Deprecated: use NewUDPRunner(cfg, RoleSender, WithLocalAddr(laddr),
+// WithPeer(raddr)), or Endpoint.Dial to multiplex connections.
+func NewUDPSenderRunner(cfg transport.Config, laddr, raddr string) (*UDPRunner, error) {
+	return NewUDPRunner(cfg, RoleSender, WithLocalAddr(laddr), WithPeer(raddr))
+}
+
+// NewUDPReceiverRunner builds a receiving endpoint bound to laddr. The
+// peer is learned from the inbound handshake; raddr is accepted for
+// compatibility and ignored.
+//
+// Deprecated: use NewUDPRunner(cfg, RoleReceiver, WithLocalAddr(laddr)),
+// or Endpoint.Accept to serve many connections.
+func NewUDPReceiverRunner(cfg transport.Config, laddr, raddr string) (*UDPRunner, error) {
+	return NewUDPRunner(cfg, RoleReceiver, WithLocalAddr(laddr))
+}
+
+// LocalAddr returns the bound UDP address.
+func (r *UDPRunner) LocalAddr() *net.UDPAddr { return r.ep.LocalAddr() }
+
+// Endpoint exposes the underlying multi-connection endpoint.
+func (r *UDPRunner) Endpoint() *Endpoint { return r.ep }
+
+// Conn returns the established connection (nil until Run establishes it).
+func (r *UDPRunner) Conn() *Conn { return r.conn }
+
+// Run establishes the connection (dial or accept) and pumps it until the
+// stream completes or the deadline elapses (deadline <= 0 means no
+// limit). Close during Run makes it return nil, matching a deliberate
+// local shutdown.
+func (r *UDPRunner) Run(deadline time.Duration) error {
+	var until time.Time
+	if deadline > 0 {
+		until = time.Now().Add(deadline)
+	}
+	remaining := func() time.Duration {
+		if until.IsZero() {
+			return 0
+		}
+		d := time.Until(until)
+		if d <= 0 {
+			return time.Nanosecond // elapsed: force immediate ErrDeadline
+		}
+		return d
+	}
+
+	var c *Conn
+	var err error
+	switch r.role {
+	case RoleSender:
+		c, err = r.ep.Dial(r.peer)
+	case RoleReceiver:
+		c, err = r.ep.AcceptTimeout(remaining())
+	default:
+		return fmt.Errorf("endpoint: unknown role %v", r.role)
+	}
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return nil
+		}
+		return err
+	}
+	r.conn = c
+	r.Sender = c.Sender()
+	r.Receiver = c.Receiver()
+	err = c.Wait(remaining())
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close releases the socket and tears down the connection.
+func (r *UDPRunner) Close() error { return r.ep.Close() }

@@ -124,7 +124,7 @@ func (r *Receiver) Delivered() int64 { return int64(r.buf.Delivered()) }
 // Buffer exposes the reassembly buffer (experiments sample HoLB state).
 func (r *Receiver) Buffer() *buffer.ReceiveBuffer { return r.buf }
 
-// Read consumes up to n in-order bytes when AutoDrain is off.
+// Read consumes up to n in-order bytes when Config.ManualDrain is set.
 func (r *Receiver) Read(n int) int {
 	got := r.buf.Read(n)
 	if got > 0 {
@@ -295,7 +295,7 @@ func (r *Receiver) onData(p *packet.Packet) {
 		r.legacyEchoValid = true
 	}
 
-	if r.cfg.AutoDrain {
+	if !r.cfg.ManualDrain {
 		r.Stats.BytesDelivered += int64(r.buf.Read(r.buf.Readable()))
 	}
 	r.adaptSettle(now)

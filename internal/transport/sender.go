@@ -84,6 +84,9 @@ type Sender struct {
 
 // NewSender builds the sending half. Packets are emitted through out.
 func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	ctrl, err := newController(cfg)
 	if err != nil {

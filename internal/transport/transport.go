@@ -85,12 +85,13 @@ type Config struct {
 	// RecvBuf is the receive buffer capacity in bytes (default 32 MiB,
 	// emulating an autotuned receive window).
 	RecvBuf int
-	// AutoDrain makes the receiver consume in-order bytes immediately
-	// (default true; disable to exercise flow control).
-	AutoDrain bool
-	// NoAutoDrain disables AutoDrain (kept separate so the zero Config
-	// keeps draining).
-	NoAutoDrain bool
+	// ManualDrain stops the receiver from consuming in-order bytes
+	// immediately; the application must call Receiver.Read, which is how
+	// flow-control experiments exercise the receive window. The zero value
+	// keeps the default auto-draining behaviour.
+	//
+	// (This replaces the former AutoDrain/NoAutoDrain double-boolean pair.)
+	ManualDrain bool
 	// TransferBytes ends the stream after this many bytes (0 = unbounded).
 	TransferBytes int64
 	// AppPaced makes the sender transmit only bytes made available via
@@ -158,8 +159,62 @@ func (c Config) withDefaults() Config {
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 60 * sim.Second
 	}
-	c.AutoDrain = !c.NoAutoDrain
 	return c
+}
+
+// Validate reports whether the configuration is self-consistent. The zero
+// Config is valid (every unset knob has a documented default); Validate
+// rejects values that withDefaults would otherwise paper over silently and
+// combinations whose semantics contradict each other:
+//
+//   - negative sizes (Payload, TransferBytes, RecvBuf, LegacySACKBlocks)
+//   - Payload beyond the wire format's 16-bit length field (65535)
+//   - negative mechanism constants (β, L, Q, settle fraction)
+//   - negative RTO bounds, or MinRTO above MaxRTO when both are set
+//   - an unknown protocol Mode or congestion-controller name
+//   - AppPaced combined with TransferBytes: a stream has exactly one
+//     termination authority — the application feed (AppPaced) or the byte
+//     bound — and configuring both leaves completion undefined when the
+//     feed stops short of the bound.
+//
+// NewSender validates implicitly; endpoint constructors validate before
+// binding sockets so misconfiguration surfaces as an error, not a stall.
+func (c Config) Validate() error {
+	if c.Mode != ModeTACK && c.Mode != ModeLegacy {
+		return fmt.Errorf("transport: unknown mode %d", int(c.Mode))
+	}
+	if c.Payload < 0 || c.Payload > 65535 {
+		return fmt.Errorf("transport: payload %d outside [0, 65535] (16-bit wire length)", c.Payload)
+	}
+	if c.TransferBytes < 0 {
+		return fmt.Errorf("transport: negative TransferBytes %d", c.TransferBytes)
+	}
+	if c.RecvBuf < 0 {
+		return fmt.Errorf("transport: negative RecvBuf %d", c.RecvBuf)
+	}
+	if c.LegacySACKBlocks < 0 {
+		return fmt.Errorf("transport: negative LegacySACKBlocks %d", c.LegacySACKBlocks)
+	}
+	p := c.Params
+	if p.Beta < 0 || p.L < 0 || p.Q < 0 || p.SettleFraction < 0 {
+		return fmt.Errorf("transport: negative TACK params (beta=%v L=%d Q=%d settle=%v)",
+			p.Beta, p.L, p.Q, p.SettleFraction)
+	}
+	if c.MinRTO < 0 || c.MaxRTO < 0 {
+		return fmt.Errorf("transport: negative RTO bound (min=%v max=%v)", c.MinRTO, c.MaxRTO)
+	}
+	if c.MinRTO > 0 && c.MaxRTO > 0 && c.MinRTO > c.MaxRTO {
+		return fmt.Errorf("transport: MinRTO %v above MaxRTO %v", c.MinRTO, c.MaxRTO)
+	}
+	if c.AppPaced && c.TransferBytes > 0 {
+		return fmt.Errorf("transport: AppPaced and TransferBytes=%d both set; a stream has one termination authority", c.TransferBytes)
+	}
+	if c.CC != "" {
+		if _, err := cc.New(c.CC, c.CCConfig); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+	}
+	return nil
 }
 
 // SenderStats aggregates sender-side counters.

@@ -196,7 +196,7 @@ func TestLegacyRTTMinBiasedByDelayedAcks(t *testing.T) {
 }
 
 func TestZeroWindowAndIACKRelease(t *testing.T) {
-	cfg := Config{Mode: ModeTACK, NoAutoDrain: true, RecvBuf: 64 << 10, TransferBytes: 1 << 20}
+	cfg := Config{Mode: ModeTACK, ManualDrain: true, RecvBuf: 64 << 10, TransferBytes: 1 << 20}
 	h := newHarness(t, 12, cfg, 100e6, ms(5), 0, 0)
 	h.snd.Start()
 	h.loop.RunUntil(sim.Second)

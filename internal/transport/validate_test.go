@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config", Config{}, true},
+		{"full tack config", Config{
+			Mode: ModeTACK, CC: "bbr", RichTACK: true,
+			TransferBytes: 1 << 20, Payload: 1200,
+		}, true},
+		{"legacy mode", Config{Mode: ModeLegacy, CC: "cubic"}, true},
+		{"app paced", Config{Mode: ModeTACK, AppPaced: true}, true},
+		{"unknown mode", Config{Mode: Mode(42)}, false},
+		{"unknown cc", Config{CC: "no-such-cc"}, false},
+		{"negative payload", Config{Payload: -1}, false},
+		{"payload beyond wire length", Config{Payload: 70000}, false},
+		{"negative transfer", Config{TransferBytes: -1}, false},
+		{"negative recvbuf", Config{RecvBuf: -1}, false},
+		{"negative sack blocks", Config{LegacySACKBlocks: -1}, false},
+		{"negative beta", Config{Params: core.Params{Beta: -1}}, false},
+		{"negative rto", Config{MinRTO: -sim.Second}, false},
+		{"min rto above max", Config{MinRTO: 2 * sim.Second, MaxRTO: sim.Second}, false},
+		{"app paced with byte bound", Config{AppPaced: true, TransferBytes: 1 << 20}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+// TestNewSenderRejectsInvalidConfig checks that the constructor surfaces
+// Validate failures instead of silently defaulting.
+func TestNewSenderRejectsInvalidConfig(t *testing.T) {
+	loop := sim.NewLoop(1)
+	_, err := NewSender(loop, Config{CC: "no-such-cc"}, func(*packet.Packet) {})
+	if err == nil {
+		t.Fatal("NewSender accepted an unknown congestion controller")
+	}
+}
