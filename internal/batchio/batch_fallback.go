@@ -1,0 +1,23 @@
+//go:build !(linux && (amd64 || arm64))
+
+package batchio
+
+// batchSupported disables the multi-message fast path on platforms where
+// recvmmsg/sendmmsg (or the struct layouts this package assumes) are not
+// available; Reader/Writer fall back to one datagram per syscall.
+const batchSupported = false
+
+// mmsgReaderState and mmsgWriterState carry no platform scratch in the
+// fallback build.
+type (
+	mmsgReaderState struct{}
+	mmsgWriterState struct{}
+)
+
+func (r *Reader) initMmsg()          {}
+func (w *Writer) initMmsg(batch int) {}
+
+// readMmsg and writeMmsg are unreachable when batchSupported is false;
+// they defer to the portable paths for safety.
+func (r *Reader) readMmsg() ([]Message, error)       { return r.readSingle() }
+func (w *Writer) writeMmsg(ms []Message) (int, error) { return w.writeSingle(ms) }

@@ -1,0 +1,215 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// batchSupported gates the recvmmsg/sendmmsg fast path. The syscall
+// numbers and 64-bit Msghdr layout below are validated for amd64 and
+// arm64; other architectures use the portable fallback.
+const batchSupported = true
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// per-message transferred-byte count filled in by the kernel.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgReaderState preallocates the recvmmsg header/iovec/sockaddr arrays
+// (one slot per message) plus the poller callback and its result slots,
+// so the steady-state read performs zero heap allocations.
+type mmsgReaderState struct {
+	hs    []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	fn    func(fd uintptr) bool
+	n     int
+	errno syscall.Errno
+}
+
+func (r *Reader) initMmsg() {
+	n := len(r.ms)
+	r.mm.hs = make([]mmsghdr, n)
+	r.mm.iovs = make([]syscall.Iovec, n)
+	r.mm.names = make([]syscall.RawSockaddrInet6, n)
+	for i := range r.mm.hs {
+		r.mm.iovs[i].Base = &r.ms[i].Buf[0]
+		r.mm.iovs[i].SetLen(len(r.ms[i].Buf))
+		r.mm.hs[i].hdr.Iov = &r.mm.iovs[i]
+		r.mm.hs[i].hdr.Iovlen = 1
+		r.mm.hs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.mm.names[i]))
+	}
+	r.mm.fn = func(fd uintptr) bool {
+		for {
+			rn, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.mm.hs[0])), uintptr(len(r.mm.hs)), 0, 0, 0)
+			switch e {
+			case 0:
+				r.mm.n = int(rn)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			default:
+				r.mm.errno = e
+				return true
+			}
+		}
+	}
+}
+
+// readMmsg drains up to len(r.ms) datagrams with one recvmmsg, blocking
+// via the runtime poller until at least one arrives.
+func (r *Reader) readMmsg() ([]Message, error) {
+	// msg_namelen is value-result: the kernel overwrites it with the
+	// actual sockaddr size, so it must be re-armed every call.
+	for i := range r.mm.hs {
+		r.mm.hs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+		r.mm.hs[i].n = 0
+	}
+	r.mm.n, r.mm.errno = 0, 0
+	if err := r.c.rc.Read(r.mm.fn); err != nil {
+		return nil, err
+	}
+	if r.mm.errno != 0 {
+		return nil, r.mm.errno
+	}
+	n := r.mm.n
+	for i := 0; i < n; i++ {
+		r.ms[i].N = int(r.mm.hs[i].n)
+		decodeSockaddr(&r.mm.names[i], r.ms[i].Addr)
+	}
+	return r.ms[:n], nil
+}
+
+// decodeSockaddr parses a raw source address into the reader-owned
+// *net.UDPAddr slot without allocating. IPv6 zone names are not resolved
+// (a name lookup allocates; the transport never compares zones).
+func decodeSockaddr(rsa *syscall.RawSockaddrInet6, addr *net.UDPAddr) {
+	switch rsa.Family {
+	case syscall.AF_INET:
+		rsa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		addr.IP = addr.IP[:4]
+		copy(addr.IP, rsa4.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&rsa4.Port))
+		addr.Port = int(p[0])<<8 | int(p[1])
+	case syscall.AF_INET6:
+		addr.IP = addr.IP[:16]
+		copy(addr.IP, rsa.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&rsa.Port))
+		addr.Port = int(p[0])<<8 | int(p[1])
+	default:
+		addr.IP = addr.IP[:0]
+		addr.Port = 0
+	}
+	addr.Zone = ""
+}
+
+// mmsgWriterState preallocates the sendmmsg header/iovec/sockaddr arrays
+// plus the poller callback and its result slots; the steady-state write
+// performs zero heap allocations.
+type mmsgWriterState struct {
+	hs    []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	fn    func(fd uintptr) bool
+	batch int // messages prepared for the pending syscall
+	n     int
+	errno syscall.Errno
+}
+
+func (w *Writer) initMmsg(batch int) {
+	w.mm.hs = make([]mmsghdr, batch)
+	w.mm.iovs = make([]syscall.Iovec, batch)
+	w.mm.names = make([]syscall.RawSockaddrInet6, batch)
+	for i := range w.mm.hs {
+		w.mm.hs[i].hdr.Iov = &w.mm.iovs[i]
+		w.mm.hs[i].hdr.Iovlen = 1
+		w.mm.hs[i].hdr.Name = (*byte)(unsafe.Pointer(&w.mm.names[i]))
+	}
+	w.mm.fn = func(fd uintptr) bool {
+		for {
+			rn, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&w.mm.hs[0])), uintptr(w.mm.batch), 0, 0, 0)
+			switch e {
+			case 0:
+				w.mm.n = int(rn)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			default:
+				w.mm.errno = e
+				return true
+			}
+		}
+	}
+}
+
+// writeMmsg sends ms in sendmmsg chunks of the writer's batch size,
+// retrying partial sends; the return contract matches WriteBatch.
+func (w *Writer) writeMmsg(ms []Message) (int, error) {
+	sent := 0
+	for sent < len(ms) {
+		batch := ms[sent:]
+		if len(batch) > len(w.mm.hs) {
+			batch = batch[:len(w.mm.hs)]
+		}
+		for i := range batch {
+			w.mm.iovs[i].Base = &batch[i].Buf[0]
+			w.mm.iovs[i].SetLen(len(batch[i].Buf))
+			w.mm.hs[i].hdr.Namelen = w.encodeSockaddr(&w.mm.names[i], batch[i].Addr)
+			w.mm.hs[i].n = 0
+		}
+		w.mm.batch, w.mm.n, w.mm.errno = len(batch), 0, 0
+		if err := w.c.rc.Write(w.mm.fn); err != nil {
+			return sent, err
+		}
+		if w.mm.errno != 0 {
+			return sent, w.mm.errno
+		}
+		if w.mm.n <= 0 {
+			// A zero-progress success should be impossible; bail rather
+			// than spin.
+			return sent, syscall.EIO
+		}
+		sent += w.mm.n
+	}
+	return sent, nil
+}
+
+// encodeSockaddr renders dst into the socket's own address family and
+// returns the sockaddr length. v4 destinations on a v6 (dual-stack)
+// socket become v4-mapped v6 addresses.
+func (w *Writer) encodeSockaddr(rsa *syscall.RawSockaddrInet6, dst *net.UDPAddr) uint32 {
+	port := uint16(dst.Port)
+	if !w.c.v6 {
+		rsa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		*rsa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&rsa4.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		if ip4 := dst.IP.To4(); ip4 != nil {
+			copy(rsa4.Addr[:], ip4)
+		}
+		return syscall.SizeofSockaddrInet4
+	}
+	*rsa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&rsa.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	if ip4 := dst.IP.To4(); ip4 != nil {
+		// v4-mapped: ::ffff:a.b.c.d
+		rsa.Addr[10], rsa.Addr[11] = 0xff, 0xff
+		copy(rsa.Addr[12:], ip4)
+	} else {
+		copy(rsa.Addr[:], dst.IP.To16())
+	}
+	return syscall.SizeofSockaddrInet6
+}

@@ -1,0 +1,150 @@
+package batchio
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T, network, laddr string) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	la, err := net.ResolveUDPAddr(network, laddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.ListenUDP(network, la)
+	if err != nil {
+		t.Skipf("listen %s %s: %v", network, laddr, err)
+	}
+	b, err := net.ListenUDP(network, la)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// roundTrip sends `count` distinct datagrams from b to a via WriteBatch
+// and reads them back via ReadBatch, checking payloads and source
+// addresses.
+func roundTrip(t *testing.T, a, b *net.UDPConn, forceSingle bool, count int) {
+	t.Helper()
+	ca, cb := New(a), New(b)
+	if forceSingle {
+		ca.DisableBatching()
+		cb.DisableBatching()
+	}
+	r := ca.NewReader(8, 2048)
+	w := cb.NewWriter(8)
+
+	out := make([]Message, count)
+	for i := range out {
+		out[i].Buf = []byte(fmt.Sprintf("datagram-%03d", i))
+		out[i].Addr = a.LocalAddr().(*net.UDPAddr)
+	}
+	sent, err := w.WriteBatch(out)
+	if err != nil || sent != count {
+		t.Fatalf("WriteBatch: sent %d/%d, err %v", sent, count, err)
+	}
+
+	got := map[string]bool{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < count && time.Now().Before(deadline) {
+		a.SetReadDeadline(deadline)
+		ms, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d: %v", len(got), count, err)
+		}
+		for _, m := range ms {
+			got[string(m.Buf[:m.N])] = true
+			if m.Addr == nil || m.Addr.Port != b.LocalAddr().(*net.UDPAddr).Port {
+				t.Fatalf("wrong source addr %v, want port %d", m.Addr, b.LocalAddr().(*net.UDPAddr).Port)
+			}
+		}
+	}
+	for i := 0; i < count; i++ {
+		if !got[fmt.Sprintf("datagram-%03d", i)] {
+			t.Fatalf("datagram %d never arrived (got %d/%d)", i, len(got), count)
+		}
+	}
+}
+
+func TestRoundTripBatched(t *testing.T) {
+	for _, tc := range []struct {
+		name, network, laddr string
+	}{
+		{"udp4", "udp4", "127.0.0.1:0"},
+		{"udp6", "udp6", "[::1]:0"},
+		{"dual", "udp", ":0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := pair(t, tc.network, tc.laddr)
+			ca := New(a)
+			if runtime.GOOS == "linux" && !ca.Batched() {
+				t.Fatal("expected batch support on linux")
+			}
+			roundTrip(t, a, b, false, 20)
+		})
+	}
+}
+
+// TestRoundTripSingleFallback exercises the portable path (what non-Linux
+// platforms run) by forcing batching off.
+func TestRoundTripSingleFallback(t *testing.T) {
+	a, b := pair(t, "udp4", "127.0.0.1:0")
+	roundTrip(t, a, b, true, 20)
+}
+
+// TestReadBatchCoalesces asserts that on a batch-capable platform several
+// queued datagrams come back from a single ReadBatch call.
+func TestReadBatchCoalesces(t *testing.T) {
+	a, b := pair(t, "udp4", "127.0.0.1:0")
+	ca := New(a)
+	if !ca.Batched() {
+		t.Skip("platform lacks batch syscalls")
+	}
+	r := ca.NewReader(8, 2048)
+	dst := a.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < 8; i++ {
+		if _, err := b.WriteToUDP([]byte{byte(i)}, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the kernel a moment to queue all eight.
+	time.Sleep(50 * time.Millisecond)
+	a.SetReadDeadline(time.Now().Add(2 * time.Second))
+	ms, err := r.ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) < 2 {
+		t.Fatalf("ReadBatch returned %d datagrams, want a coalesced batch > 1", len(ms))
+	}
+}
+
+// TestWriterReuseNoAlloc checks the steady-state write path allocates
+// nothing once constructed.
+func TestWriterReuseNoAlloc(t *testing.T) {
+	a, b := pair(t, "udp4", "127.0.0.1:0")
+	cb := New(b)
+	if !cb.Batched() {
+		t.Skip("fallback WriteToUDP path allocates inside net")
+	}
+	w := cb.NewWriter(4)
+	ms := make([]Message, 4)
+	for i := range ms {
+		ms[i].Buf = []byte("x")
+		ms[i].Addr = a.LocalAddr().(*net.UDPAddr)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := w.WriteBatch(ms); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("WriteBatch allocates %v per call, want 0", allocs)
+	}
+}

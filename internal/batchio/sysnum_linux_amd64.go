@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package batchio
+
+// Multi-message syscall numbers (linux/amd64). The stdlib's frozen
+// syscall table predates sendmmsg, so both are spelled out here.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package batchio
+
+// Multi-message syscall numbers (linux/arm64).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

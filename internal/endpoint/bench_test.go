@@ -1,0 +1,125 @@
+package endpoint
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// benchPair binds a server and client endpoint on loopback and returns
+// them with a cleanup. The server drains accepted connections so their
+// lifecycle machinery (linger, reaping) never blocks the accept queue.
+func benchPair(b *testing.B, tcfg transport.Config) (*Endpoint, *Endpoint) {
+	b.Helper()
+	srv, err := Listen("127.0.0.1:0", Config{Transport: tcfg, HandshakeTimeout: 15 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err := Listen("127.0.0.1:0", Config{Transport: tcfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			if _, err := srv.AcceptTimeout(time.Second); err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err == ErrClosed {
+					return
+				}
+			}
+		}
+	}()
+	b.Cleanup(func() {
+		close(stop)
+		cli.Close()
+		srv.Close()
+	})
+	return srv, cli
+}
+
+// transfer dials one connection and waits for its bounded stream to
+// complete.
+func transfer(b *testing.B, srv, cli *Endpoint) {
+	b.Helper()
+	c, err := cli.Dial(srv.LocalAddr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Wait(60 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEndpointEcho measures the full datapath cost of a small
+// transfer (handshake, 64 KiB of data, acknowledgments, FIN teardown)
+// over real loopback UDP. allocs/op is the figure of merit: it counts
+// every per-packet allocation in the read loop, codec, shard dispatch,
+// and write path.
+func BenchmarkEndpointEcho(b *testing.B) {
+	const size = 64 << 10
+	tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
+	srv, cli := benchPair(b, tcfg)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transfer(b, srv, cli)
+	}
+}
+
+// BenchmarkEndpointThroughput measures sustained loopback goodput with a
+// multi-megabyte bounded stream per iteration; bytes/s is the figure of
+// merit.
+func BenchmarkEndpointThroughput(b *testing.B) {
+	const size = 4 << 20
+	tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
+	srv, cli := benchPair(b, tcfg)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transfer(b, srv, cli)
+	}
+}
+
+// BenchmarkEndpointThroughputFlows measures aggregate loopback goodput
+// with N concurrent bounded streams per iteration — the shape `tackd
+// -flows N` exercises, and the case batched socket I/O helps most (many
+// connections' sends coalesce into one syscall).
+func BenchmarkEndpointThroughputFlows(b *testing.B) {
+	for _, flows := range []int{4, 8} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			const size = 1 << 20
+			tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
+			srv, cli := benchPair(b, tcfg)
+			b.SetBytes(int64(size * flows))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done := make(chan error, flows)
+				for f := 0; f < flows; f++ {
+					go func() {
+						c, err := cli.Dial(srv.LocalAddr().String())
+						if err != nil {
+							done <- err
+							return
+						}
+						done <- c.Wait(60 * time.Second)
+					}()
+				}
+				for f := 0; f < flows; f++ {
+					if err := <-done; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -86,13 +86,12 @@ func (c *Conn) vnow() sim.Time { return sim.Time(time.Since(c.start)) }
 func (c *Conn) advance() { c.loop.RunUntil(c.vnow()) }
 
 // output transmits a protocol packet to the peer. Runs on the shard
-// goroutine (loop callbacks execute there); socket writes are safe
-// concurrently across shards.
+// goroutine (loop callbacks execute there), which owns the egress queue:
+// the packet is encoded into a pooled buffer and coalesced with the rest
+// of the burst into one batched write.
 func (c *Conn) output(p *packet.Packet) {
-	c.lastSent = time.Now()
-	if _, err := c.ep.conn.WriteToUDP(p.Marshal(), c.peer); err != nil {
-		c.ep.mTxErrors.Inc()
-	}
+	c.lastSent = c.sh.now
+	c.sh.enqueue(p, c.peer)
 }
 
 // finish closes doneCh exactly once with the given terminal error.

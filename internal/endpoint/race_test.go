@@ -94,7 +94,10 @@ func TestEndpointConcurrentDialClose(t *testing.T) {
 	}
 	srv.Close()
 
-	// Every runner goroutine (read loops, shards) must have exited.
+	// Every runner goroutine (read loops, shards) must have exited. The
+	// stack-dump buffer is allocated once, up front — not per poll
+	// iteration — and only filled on failure.
+	buf := make([]byte, 1<<20)
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		if runtime.NumGoroutine() <= before+2 {
@@ -102,7 +105,6 @@ func TestEndpointConcurrentDialClose(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	buf := make([]byte, 1<<20)
 	t.Fatalf("goroutines leaked: %d before, %d after\n%s",
 		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 }

@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/tacktp/tack/internal/batchio"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/transport"
 )
@@ -20,27 +21,52 @@ const (
 // shardMsg is one unit of work on a shard's channel.
 type shardMsg struct {
 	op   opKind
-	pkt  *packet.Packet
-	from *net.UDPAddr
+	ipk  *inPacket
 	conn *Conn
 }
 
 // shard owns a partition of the endpoint's connections. The conns map and
 // every connection's protocol state are touched exclusively by the
-// shard's goroutine — the dispatch path is lock-free by ownership.
+// shard's goroutine — the dispatch path is lock-free by ownership, and so
+// is the egress queue: every output a connection emits lands here and is
+// coalesced into one batched write per work burst.
 type shard struct {
 	ep    *Endpoint
 	in    chan shardMsg
 	conns map[uint32]*Conn
+
+	// now is the shard's coarse wall clock, refreshed once per work burst
+	// and lifecycle tick instead of per packet (time.Now in the dispatch
+	// hot path costs a vDSO call per datagram; connection liveness
+	// bookkeeping only needs millisecond granularity).
+	now time.Time
+
+	// Egress queue: encoded datagrams awaiting one WriteBatch. egress and
+	// egressBufs are parallel (egressBufs keeps the pool pointers so the
+	// buffers can be recycled after the flush).
+	wr         *batchio.Writer
+	egress     []batchio.Message
+	egressBufs []*[]byte
 }
 
 func newShard(ep *Endpoint) *shard {
-	return &shard{ep: ep, in: make(chan shardMsg, 1024), conns: map[uint32]*Conn{}}
+	return &shard{
+		ep:         ep,
+		in:         make(chan shardMsg, 1024),
+		conns:      map[uint32]*Conn{},
+		now:        time.Now(),
+		wr:         ep.bconn.NewWriter(egressBatchSize),
+		egress:     make([]batchio.Message, 0, egressBatchSize),
+		egressBufs: make([]*[]byte, 0, egressBatchSize),
+	}
 }
 
 // run is the shard worker: it serializes inbound packets, control
 // messages, and a 1 ms lifecycle tick (the same granularity the
-// single-connection runner used for its virtual clock).
+// single-connection runner used for its virtual clock). Each wakeup
+// drains a bounded burst of queued work before flushing the egress
+// queue, so packets arriving together (and the acks they trigger) leave
+// in one batched write.
 func (sh *shard) run() {
 	defer sh.ep.wg.Done()
 	defer sh.shutdown()
@@ -51,9 +77,24 @@ func (sh *shard) run() {
 		case <-sh.ep.stop:
 			return
 		case m := <-sh.in:
+			sh.now = time.Now()
 			sh.handle(m)
+		drain:
+			// Bounded opportunistic drain: batch the rest of the burst
+			// without starving the tick or spinning forever.
+			for i := 0; i < 2*readBatchSize; i++ {
+				select {
+				case m := <-sh.in:
+					sh.handle(m)
+				default:
+					break drain
+				}
+			}
+			sh.flush()
 		case <-tick.C:
+			sh.now = time.Now()
 			sh.tick()
+			sh.flush()
 		}
 	}
 }
@@ -61,7 +102,8 @@ func (sh *shard) run() {
 func (sh *shard) handle(m shardMsg) {
 	switch m.op {
 	case opPacket:
-		sh.onPacket(m.pkt, m.from)
+		sh.onPacket(&m.ipk.pkt, &m.ipk.from)
+		sh.ep.putPacket(m.ipk)
 	case opRegister:
 		c := m.conn
 		sh.conns[c.id] = c
@@ -71,6 +113,42 @@ func (sh *shard) handle(m shardMsg) {
 	case opClose:
 		sh.closeConn(m.conn)
 	}
+}
+
+// enqueue appends one encoded datagram to the shard's egress queue,
+// flushing when the batch is full. Runs only on the shard goroutine.
+func (sh *shard) enqueue(p *packet.Packet, addr *net.UDPAddr) {
+	bp := sh.ep.getBuf()
+	*bp = p.AppendMarshal((*bp)[:0])
+	sh.egress = append(sh.egress, batchio.Message{Buf: *bp, Addr: addr})
+	sh.egressBufs = append(sh.egressBufs, bp)
+	if len(sh.egress) >= egressBatchSize {
+		sh.flush()
+	}
+}
+
+// flush writes the egress queue with as few syscalls as the platform
+// allows and recycles the datagram buffers. A datagram that errors is
+// counted and skipped; the rest of the batch still goes out.
+func (sh *shard) flush() {
+	if len(sh.egress) == 0 {
+		return
+	}
+	ms := sh.egress
+	sh.ep.mBatchWrite.Observe(float64(len(ms)))
+	for sent := 0; sent < len(ms); {
+		n, err := sh.wr.WriteBatch(ms[sent:])
+		sent += n
+		if err != nil {
+			sh.ep.mTxErrors.Inc()
+			sent++
+		}
+	}
+	for _, bp := range sh.egressBufs {
+		sh.ep.putBuf(bp)
+	}
+	sh.egress = sh.egress[:0]
+	sh.egressBufs = sh.egressBufs[:0]
 }
 
 // onPacket is the demux hot path: route by ConnID, validate the source,
@@ -87,7 +165,7 @@ func (sh *shard) onPacket(p *packet.Packet, from *net.UDPAddr) {
 		sh.ep.mDemuxDrops.Inc()
 		return
 	}
-	c.lastRecv = time.Now()
+	c.lastRecv = sh.now
 	c.advance()
 	if c.snd != nil {
 		if a := p.Ack; a != nil && a.CumAck > c.snd.SentSeq() {
@@ -116,7 +194,9 @@ func (sh *shard) acceptSYN(p *packet.Packet, from *net.UDPAddr) {
 		sh.ep.mDemuxDrops.Inc()
 		return
 	}
-	c := sh.ep.newConn(from)
+	// from aliases pooled reader storage that is recycled after dispatch;
+	// the connection outlives it, so it keeps its own copy.
+	c := sh.ep.newConn(cloneAddr(from))
 	c.id = p.ConnID
 	c.sh = sh
 	if !sh.ep.reserveID(c.id, c) {
@@ -185,7 +265,7 @@ func (sh *shard) checkDone(c *Conn) {
 // lifecycle policies: linger expiry, embryo reaping, idle timeout,
 // keepalive.
 func (sh *shard) tick() {
-	now := time.Now()
+	now := sh.now
 	ep := sh.ep
 	for _, c := range sh.conns {
 		c.advance()
@@ -271,6 +351,9 @@ func (sh *shard) shutdown() {
 	for {
 		select {
 		case m := <-sh.in:
+			if m.ipk != nil {
+				sh.ep.putPacket(m.ipk)
+			}
 			if m.conn != nil {
 				sh.ep.releaseID(m.conn.id)
 				m.conn.finish(ErrClosed)
@@ -285,4 +368,12 @@ func (sh *shard) shutdown() {
 // v6-mapped form compare equal).
 func addrEqual(a, b *net.UDPAddr) bool {
 	return a != nil && b != nil && a.Port == b.Port && a.IP.Equal(b.IP)
+}
+
+// cloneAddr deep-copies a UDP address so it can outlive pooled reader
+// storage.
+func cloneAddr(a *net.UDPAddr) *net.UDPAddr {
+	ip := make(net.IP, len(a.IP))
+	copy(ip, a.IP)
+	return &net.UDPAddr{IP: ip, Port: a.Port, Zone: a.Zone}
 }

@@ -46,3 +46,40 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCodecDifferential fuzzes the zero-allocation codec against the
+// legacy entry points: DecodeInto (on a dirty, reused packet) must accept
+// and reject exactly the same inputs as Unmarshal with semantically equal
+// results, and AppendMarshal must re-encode byte-identically to Marshal.
+// Truncated and garbage inputs must error on both paths without panics.
+func FuzzCodecDifferential(f *testing.F) {
+	for _, p := range codecCases() {
+		wire := p.Marshal()
+		f.Add(wire)
+		// Seed truncations so the corpus explores short-input handling.
+		f.Add(wire[:len(wire)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+
+	// The reused target deliberately persists across fuzz invocations:
+	// every decode must stand alone no matter what state the previous
+	// (possibly failed) decode left behind.
+	var reused Packet
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		legacy, legacyErr := Unmarshal(raw)
+		intoErr := DecodeInto(&reused, raw)
+		if (legacyErr == nil) != (intoErr == nil) {
+			t.Fatalf("accept/reject divergence: Unmarshal err=%v DecodeInto err=%v", legacyErr, intoErr)
+		}
+		if legacyErr != nil {
+			return
+		}
+		if !packetsEqual(legacy, &reused) {
+			t.Fatalf("decode divergence:\n legacy=%+v\n reused=%+v", legacy, &reused)
+		}
+		if !bytes.Equal(legacy.Marshal(), reused.AppendMarshal(nil)) {
+			t.Fatalf("encode divergence for %+v", legacy)
+		}
+	})
+}

@@ -168,6 +168,27 @@ type Packet struct {
 	// (state sync, §4.4): it keeps the receiver's loss-state floor fresh
 	// even when the data path is momentarily idle or window-starved.
 	AckOldestPktSeq uint64
+
+	// spareAck parks AckInfo storage across Reset/DecodeInto cycles while
+	// the packet carries no feedback block, so a pooled Packet alternating
+	// between data and ack datagrams stays allocation-free.
+	spareAck *AckInfo
+}
+
+// Reset clears p for reuse while retaining its Payload, AckInfo, and
+// ack-block storage, so a subsequent DecodeInto can decode without
+// allocating.
+func (p *Packet) Reset() {
+	payload := p.Payload[:0]
+	spare := p.Ack
+	if spare == nil {
+		spare = p.spareAck
+	}
+	if spare != nil {
+		acked, unacked := spare.AckedBlocks[:0], spare.UnackedBlocks[:0]
+		*spare = AckInfo{AckedBlocks: acked, UnackedBlocks: unacked}
+	}
+	*p = Packet{Payload: payload, spareAck: spare}
 }
 
 // overheadEthIPUDP approximates Ethernet + IPv4 + UDP framing so WireSize
@@ -214,9 +235,15 @@ func (p *Packet) IsAck() bool {
 // structure.
 var errTruncated = errors.New("packet: truncated")
 
-// Marshal encodes the packet to wire bytes.
+// Marshal encodes the packet to a freshly allocated wire-byte slice.
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, p.EncodedLen())
+	return p.AppendMarshal(make([]byte, 0, p.EncodedLen()))
+}
+
+// AppendMarshal appends the packet's wire encoding to buf and returns the
+// extended slice. It appends exactly EncodedLen bytes; a caller that
+// provides that much spare capacity gets an allocation-free encode.
+func (p *Packet) AppendMarshal(buf []byte) []byte {
 	buf = append(buf, Version, byte(p.Type))
 	buf = binary.BigEndian.AppendUint32(buf, p.ConnID)
 	buf = binary.BigEndian.AppendUint64(buf, p.PktSeq)
@@ -282,15 +309,28 @@ func (a *AckInfo) marshal(buf []byte) []byte {
 	return buf
 }
 
-// Unmarshal decodes a packet from wire bytes.
+// Unmarshal decodes a packet from wire bytes into a fresh Packet.
 func Unmarshal(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto decodes a packet from wire bytes into the caller-owned p,
+// reusing p's payload, AckInfo, and ack-block storage where capacity
+// allows. The decoded packet owns copies of everything it references —
+// buf may be reused immediately. On error p is left reset.
+func DecodeInto(p *Packet, buf []byte) error {
+	p.Reset()
 	if len(buf) < commonHeaderLen {
-		return nil, errTruncated
+		return errTruncated
 	}
 	if buf[0] != Version {
-		return nil, fmt.Errorf("packet: unknown version %d", buf[0])
+		return fmt.Errorf("packet: unknown version %d", buf[0])
 	}
-	p := &Packet{Type: Type(buf[1])}
+	p.Type = Type(buf[1])
 	p.ConnID = binary.BigEndian.Uint32(buf[2:])
 	p.PktSeq = binary.BigEndian.Uint64(buf[6:])
 	p.SentAt = sim.Time(binary.BigEndian.Uint64(buf[14:]))
@@ -298,7 +338,8 @@ func Unmarshal(buf []byte) (*Packet, error) {
 	switch p.Type {
 	case TypeData, TypeSYN:
 		if len(body) < 19 {
-			return nil, errTruncated
+			p.Reset()
+			return errTruncated
 		}
 		p.Seq = binary.BigEndian.Uint64(body)
 		p.OldestPktSeq = binary.BigEndian.Uint64(body[8:])
@@ -309,14 +350,14 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		p.IsProbe = f&4 != 0
 		body = body[19:]
 		if len(body) < plen {
-			return nil, errTruncated
+			p.Reset()
+			return errTruncated
 		}
-		if plen > 0 {
-			p.Payload = append([]byte(nil), body[:plen]...)
-		}
+		p.Payload = append(p.Payload[:0], body[:plen]...)
 	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
 		if len(body) < 18 {
-			return nil, errTruncated
+			p.Reset()
+			return errTruncated
 		}
 		p.IACK = IACKKind(body[0])
 		p.RTTMinNS = int64(binary.BigEndian.Uint64(body[1:]))
@@ -324,30 +365,37 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		has := body[17]
 		body = body[18:]
 		if has == 1 {
-			a, rest, err := unmarshalAck(body)
-			if err != nil {
-				return nil, err
+			a := p.spareAck
+			if a == nil {
+				a = &AckInfo{}
 			}
-			p.Ack = a
-			body = rest
+			if err := a.decodeInto(body); err != nil {
+				p.Reset()
+				return err
+			}
+			p.Ack, p.spareAck = a, nil
 		}
-		_ = body
 	case TypeFIN:
 		if len(body) < 8 {
-			return nil, errTruncated
+			p.Reset()
+			return errTruncated
 		}
 		p.Seq = binary.BigEndian.Uint64(body)
 	default:
-		return nil, fmt.Errorf("packet: unknown type %d", buf[1])
+		err := fmt.Errorf("packet: unknown type %d", buf[1])
+		p.Reset()
+		return err
 	}
-	return p, nil
+	return nil
 }
 
-func unmarshalAck(body []byte) (*AckInfo, []byte, error) {
+// decodeInto decodes a feedback block into a, reusing its block-slice
+// capacity. a must arrive zeroed apart from retained storage (Reset does
+// this).
+func (a *AckInfo) decodeInto(body []byte) error {
 	if len(body) < ackFixedLen {
-		return nil, nil, errTruncated
+		return errTruncated
 	}
-	a := &AckInfo{}
 	a.CumAck = binary.BigEndian.Uint64(body)
 	a.CumPktSeq = binary.BigEndian.Uint64(body[8:])
 	a.LargestPktSeq = binary.BigEndian.Uint64(body[16:])
@@ -361,25 +409,24 @@ func unmarshalAck(body []byte) (*AckInfo, []byte, error) {
 	a.LossRatePermille = binary.BigEndian.Uint16(body[80:])
 	nAcked, nUnacked := int(body[82]), int(body[83])
 	body = body[ackFixedLen:]
-	need := 16 * (nAcked + nUnacked)
-	if len(body) < need {
-		return nil, nil, errTruncated
+	if len(body) < 16*(nAcked+nUnacked) {
+		return errTruncated
 	}
-	read := func(n int) []seqspace.Range {
-		if n == 0 {
-			return nil
-		}
-		out := make([]seqspace.Range, n)
-		for i := range out {
-			out[i].Lo = binary.BigEndian.Uint64(body)
-			out[i].Hi = binary.BigEndian.Uint64(body[8:])
-			body = body[16:]
-		}
-		return out
+	for i := 0; i < nAcked; i++ {
+		a.AckedBlocks = append(a.AckedBlocks, seqspace.Range{
+			Lo: binary.BigEndian.Uint64(body),
+			Hi: binary.BigEndian.Uint64(body[8:]),
+		})
+		body = body[16:]
 	}
-	a.AckedBlocks = read(nAcked)
-	a.UnackedBlocks = read(nUnacked)
-	return a, body, nil
+	for i := 0; i < nUnacked; i++ {
+		a.UnackedBlocks = append(a.UnackedBlocks, seqspace.Range{
+			Lo: binary.BigEndian.Uint64(body),
+			Hi: binary.BigEndian.Uint64(body[8:]),
+		})
+		body = body[16:]
+	}
+	return nil
 }
 
 // MaxBlocks returns how many 16-byte blocks fit in an ACK without the frame

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — datapath microbenchmark smoke run.
+#
+# Runs the wire-codec and endpoint datapath benchmarks with -benchmem,
+# writes the parsed results to BENCH_datapath.json, and fails if any
+# codec benchmark (BenchmarkMarshal*/BenchmarkUnmarshal*) reports a
+# nonzero allocs/op — the zero-allocation codec is a hard invariant, not
+# a trend to watch.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+set -euo pipefail
+
+out="${1:-BENCH_datapath.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# BenchmarkMarshal/* and BenchmarkUnmarshal/* are the zero-alloc
+# AppendMarshal/DecodeInto paths; the legacy convenience benchmarks
+# (BenchmarkMarshalData etc.) allocate by design and are not gated.
+go test -run '^$' -bench 'BenchmarkMarshal/|BenchmarkUnmarshal/' -benchmem \
+    ./internal/packet/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkEndpointEcho|BenchmarkEndpointThroughput$' \
+    -benchmem -benchtime 1s ./internal/endpoint/ | tee -a "$raw"
+
+# Parse `BenchmarkName-N  iters  ns/op  [MB/s]  B/op  allocs/op` lines into
+# JSON and enforce the codec zero-alloc gate.
+awk '
+BEGIN { printf "{\n  \"benchmarks\": [\n"; first = 1; bad = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""; mbs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "MB/s") mbs = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
+        name, (ns == "" ? "null" : ns), (bop == "" ? "null" : bop), (aop == "" ? "null" : aop)
+    if (mbs != "") printf ", \"mb_per_s\": %s", mbs
+    printf "}"
+    if ((name ~ /^BenchmarkMarshal\// || name ~ /^BenchmarkUnmarshal\//) && aop + 0 > 0) {
+        printf "codec benchmark %s allocates: %s allocs/op (want 0)\n", name, aop > "/dev/stderr"
+        bad = 1
+    }
+}
+END { printf "\n  ]\n}\n"; exit bad }
+' "$raw" > "$out" || { echo "bench smoke FAILED (see $out)" >&2; exit 1; }
+
+echo "bench smoke OK: $out"
