@@ -7,6 +7,7 @@
 //	tackbench all [-quick]         # run everything
 //	tackbench fig3 fig10a ...      # run specific experiments
 //	tackbench run [-path wlan] [-trace out.jsonl] [-json]   # one traced flow
+//	tackbench chaos [-conns 8] [-bytes 256K] [-seed 7]      # adversarial live soak
 //
 // Flags:
 //
@@ -30,7 +31,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and ensembles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 	}
 	flag.Parse()
@@ -50,6 +51,9 @@ func main() {
 		return
 	case "run":
 		runCmd(args[1:])
+		return
+	case "chaos":
+		chaosCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

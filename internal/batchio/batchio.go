@@ -13,6 +13,12 @@
 // performs zero heap allocations. A Reader is single-goroutine; each
 // goroutine that writes concurrently must own its own Writer (the
 // underlying socket itself is safe for concurrent syscalls).
+//
+// Buffer ownership is strictly batch-scoped in both directions: a
+// Reader's Message buffers are valid only until the next ReadBatch, and a
+// Writer may not touch caller buffers after WriteBatch returns. DESIGN.md
+// ("Datapath performance") documents how internal/endpoint layers its
+// pool-based ownership handoffs on top of these rules.
 package batchio
 
 import (

@@ -49,6 +49,9 @@ type Conn struct {
 	completeAt    time.Time
 	lastRecv      time.Time
 	lastSent      time.Time
+	// Embryo SYNACK retransmission schedule (receiver side only).
+	hsRetries int
+	nextHS    time.Time
 
 	estOnce   sync.Once
 	estCh     chan struct{}

@@ -9,16 +9,16 @@
 //
 // Architecture:
 //
-//	           ┌──────────────┐    hash(ConnID) % N     ┌─────────────┐
-//	 UDP ───▶  │ read goroutine│ ───────────────────▶   │  shard 0..N │
-//	 socket    │ (unmarshal)  │     bounded channel     │  goroutine  │
-//	           └──────────────┘  (overflow == drop: the └─────────────┘
-//	                              protocol is loss-       │ owns conns
-//	                              tolerant)               │ map + loops
-//	                                                      ▼
-//	                                         per-conn sans-IO Sender /
-//	                                         Receiver on a private
-//	                                         sim.Loop pinned to wall time
+//	          ┌──────────────┐    hash(ConnID) % N     ┌─────────────┐
+//	UDP ───▶  │ read goroutine│ ───────────────────▶   │  shard 0..N │
+//	socket    │ (unmarshal)  │     bounded channel     │  goroutine  │
+//	          └──────────────┘  (overflow == drop: the └─────────────┘
+//	                             protocol is loss-       │ owns conns
+//	                             tolerant)               │ map + loops
+//	                                                     ▼
+//	                                        per-conn sans-IO Sender /
+//	                                        Receiver on a private
+//	                                        sim.Loop pinned to wall time
 //
 // Each connection's protocol engine runs on exactly one shard goroutine —
 // the engines keep their single-threaded discipline, and the dispatch hot
@@ -49,6 +49,7 @@ import (
 
 	"github.com/tacktp/tack/internal/batchio"
 	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
@@ -124,6 +125,17 @@ type Config struct {
 	// emit a keepalive IACK after this long without transmitting, keeping
 	// the peer's idle reaper at bay during app-paced silences.
 	KeepaliveInterval time.Duration
+	// HandshakeRTO, when positive, overrides the transport's initial
+	// handshake retransmission timeout (Transport.HandshakeRTO, default
+	// 250ms) for both dialed SYNs and embryo SYNACK re-emission. The
+	// timeout doubles per retry.
+	HandshakeRTO time.Duration
+	// MaxHandshakeRetries, when non-zero, overrides the handshake
+	// retransmission budget (Transport.MaxSYNRetries, default 8) for both
+	// sides: a dialed connection whose budget is exhausted fails with
+	// ErrHandshakeTimeout without waiting out HandshakeTimeout, and an
+	// embryo stops re-emitting SYNACKs. Negative disables retransmission.
+	MaxHandshakeRetries int
 	// Metrics registers endpoint-level instruments (nil falls back to
 	// Transport.Metrics; both nil disables).
 	Metrics *telemetry.Registry
@@ -151,7 +163,44 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = c.Transport.Metrics
 	}
+	// Fold the endpoint-level handshake overrides into the transport
+	// template once, so every per-connection copy inherits them.
+	if c.HandshakeRTO > 0 {
+		c.Transport.HandshakeRTO = sim.Time(c.HandshakeRTO)
+	}
+	if c.MaxHandshakeRetries != 0 {
+		c.Transport.MaxSYNRetries = c.MaxHandshakeRetries
+	}
 	return c
+}
+
+// handshakeRetryRTO returns the embryo SYNACK retransmission timeout for
+// the given retry count: the handshake RTO doubled per retry, clamped to
+// HandshakeTimeout (beyond which the embryo reaper wins anyway).
+func (c Config) handshakeRetryRTO(retries int) time.Duration {
+	rto := time.Duration(c.Transport.HandshakeRTO)
+	if rto <= 0 {
+		rto = 250 * time.Millisecond
+	}
+	for i := 0; i < retries; i++ {
+		rto *= 2
+		if rto >= c.HandshakeTimeout {
+			return c.HandshakeTimeout
+		}
+	}
+	return rto
+}
+
+// handshakeRetryBudget returns the SYNACK retransmission cap for embryos.
+func (c Config) handshakeRetryBudget() int {
+	switch n := c.Transport.MaxSYNRetries; {
+	case n < 0:
+		return 0
+	case n == 0:
+		return 8
+	default:
+		return n
+	}
 }
 
 // Endpoint is a multi-connection UDP endpoint: one socket, many
@@ -181,17 +230,20 @@ type Endpoint struct {
 	bufPool sync.Pool
 
 	// Endpoint telemetry (nil-safe).
-	mConns       *telemetry.Gauge
-	mRxPackets   *telemetry.Counter
-	mRxGarbage   *telemetry.Counter
-	mTxErrors    *telemetry.Counter
-	mDemuxDrops  *telemetry.Counter
-	mAcceptDrops *telemetry.Counter
-	mBadFeedback *telemetry.Counter
-	mReaped      *telemetry.Counter
-	mDials       *telemetry.Counter
-	mAccepts     *telemetry.Counter
-	mHandshake   *telemetry.Histogram
+	mConns             *telemetry.Gauge
+	mRxPackets         *telemetry.Counter
+	mRxGarbage         *telemetry.Counter
+	mRxCorrupt         *telemetry.Counter
+	mTxErrors          *telemetry.Counter
+	mDemuxDrops        *telemetry.Counter
+	mMigrationRejected *telemetry.Counter
+	mSynackRetrans     *telemetry.Counter
+	mAcceptDrops       *telemetry.Counter
+	mBadFeedback       *telemetry.Counter
+	mReaped            *telemetry.Counter
+	mDials             *telemetry.Counter
+	mAccepts           *telemetry.Counter
+	mHandshake         *telemetry.Histogram
 
 	// Batched-datapath telemetry: syscall batch sizes and freelist hit
 	// rates (hit rate = 1 - misses/gets).
@@ -255,8 +307,11 @@ func Listen(laddr string, cfg Config) (*Endpoint, error) {
 	ep.mConns = reg.Gauge("ep.conns")
 	ep.mRxPackets = reg.Counter("ep.rx_packets")
 	ep.mRxGarbage = reg.Counter("ep.rx_garbage")
+	ep.mRxCorrupt = reg.Counter("ep.rx_corrupt")
 	ep.mTxErrors = reg.Counter("ep.tx_errors")
 	ep.mDemuxDrops = reg.Counter("ep.demux_drops")
+	ep.mMigrationRejected = reg.Counter("ep.migration_rejected")
+	ep.mSynackRetrans = reg.Counter("ep.synack_retransmits")
 	ep.mAcceptDrops = reg.Counter("ep.accept_drops")
 	ep.mBadFeedback = reg.Counter("ep.bad_feedback")
 	ep.mReaped = reg.Counter("ep.reaped")
@@ -327,9 +382,31 @@ func (ep *Endpoint) readLoop() {
 		}
 		ep.mBatchRead.Observe(float64(len(ms)))
 		for i := range ms {
-			ipk := ep.getPacket()
-			if err := packet.DecodeInto(&ipk.pkt, ms[i].Buf[:ms[i].N]); err != nil {
+			// The CRC32-C frame trailer (see frame.go) catches any
+			// userspace corruption of the datagram content; a mismatch
+			// is dropped here, before the decoder runs, and recovered by
+			// the loss machinery like any other dropped packet.
+			if ms[i].N < frameTrailerLen {
 				ep.mRxGarbage.Inc()
+				continue
+			}
+			body, ok := checkFrameCRC(ms[i].Buf[:ms[i].N])
+			if !ok {
+				ep.mRxCorrupt.Inc()
+				continue
+			}
+			ipk := ep.getPacket()
+			if err := packet.DecodeInto(&ipk.pkt, body); err != nil {
+				ep.mRxGarbage.Inc()
+				ep.putPacket(ipk)
+				continue
+			}
+			// Defense in depth behind the CRC: reject internally
+			// inconsistent packets (a hostile sender passes the CRC, the
+			// trailer only proves the bytes arrived as sent) before their
+			// fields reach protocol state (see packet.Sane).
+			if err := ipk.pkt.Sane(); err != nil {
+				ep.mRxCorrupt.Inc()
 				ep.putPacket(ipk)
 				continue
 			}

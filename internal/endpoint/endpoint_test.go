@@ -162,7 +162,10 @@ func TestEndpointMultiTransfer(t *testing.T) {
 	}
 }
 
-// TestEndpointHandshakeTimeout dials a socket that never answers.
+// TestEndpointHandshakeTimeout dials a socket that never answers. The SYN
+// is retransmitted on the handshake backoff schedule, but with no SYNACK
+// ever arriving the dial must still fail with ErrHandshakeTimeout —
+// whichever of the deadline or the retry budget trips first.
 func TestEndpointHandshakeTimeout(t *testing.T) {
 	// A bound but never-read socket: SYNs vanish into its receive queue.
 	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -183,6 +186,46 @@ func TestEndpointHandshakeTimeout(t *testing.T) {
 	}
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("handshake timeout took %v", d)
+	}
+	if ep.ConnCount() != 0 {
+		t.Fatalf("conn count %d after failed dial, want 0", ep.ConnCount())
+	}
+}
+
+// TestEndpointHandshakeRetryBudget makes the retry budget, not the
+// deadline, the terminating authority: with a tiny HandshakeRTO and a
+// 3-retry budget the dial must fail in well under the generous
+// HandshakeTimeout, and must actually have retransmitted.
+func TestEndpointHandshakeRetryBudget(t *testing.T) {
+	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+
+	reg := telemetry.NewRegistry()
+	tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: 1 << 10, Metrics: reg}
+	ep, err := Listen("127.0.0.1:0", Config{
+		Transport:           tcfg,
+		HandshakeTimeout:    30 * time.Second, // deliberately not the limiter
+		HandshakeRTO:        20 * time.Millisecond,
+		MaxHandshakeRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	start := time.Now()
+	if _, err := ep.Dial(hole.LocalAddr().String()); !errors.Is(err, ErrHandshakeTimeout) {
+		t.Fatalf("err = %v, want ErrHandshakeTimeout", err)
+	}
+	// Budget: 20+40+80 ms of backoff plus scheduling slack — nowhere near
+	// the 30 s deadline.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("budget-exhausted dial took %v, deadline must not be the limiter", d)
+	}
+	if got := reg.Counter("snd.syn_retransmits").Value(); got != 3 {
+		t.Fatalf("snd.syn_retransmits = %d, want 3", got)
 	}
 	if ep.ConnCount() != 0 {
 		t.Fatalf("conn count %d after failed dial, want 0", ep.ConnCount())
@@ -275,19 +318,25 @@ func TestEndpointDemuxDrops(t *testing.T) {
 	}
 	defer sock.Close()
 	// A DATA packet for a connection that was never opened: droppable.
+	// (The datagram must carry a valid frame CRC to get past the read
+	// loop's corruption check and reach demux.)
 	stray := &packet.Packet{Type: packet.TypeData, ConnID: 4242, Payload: []byte("x")}
-	sock.Write(stray.Marshal())
+	sock.Write(appendFrameCRC(stray.Marshal()))
 	sock.Write([]byte{0xFF, 0xFF, 0xFF}) // not a packet at all
+	sock.Write(append(stray.Marshal(), 0xDE, 0xAD, 0xBE, 0xEF)) // bad frame CRC
 
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if reg.Counter("ep.demux_drops").Value() >= 1 && reg.Counter("ep.rx_garbage").Value() >= 1 {
+		if reg.Counter("ep.demux_drops").Value() >= 1 &&
+			reg.Counter("ep.rx_garbage").Value() >= 1 &&
+			reg.Counter("ep.rx_corrupt").Value() >= 1 {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatalf("demux_drops=%d rx_garbage=%d, want >= 1 each",
-		reg.Counter("ep.demux_drops").Value(), reg.Counter("ep.rx_garbage").Value())
+	t.Fatalf("demux_drops=%d rx_garbage=%d rx_corrupt=%d, want >= 1 each",
+		reg.Counter("ep.demux_drops").Value(), reg.Counter("ep.rx_garbage").Value(),
+		reg.Counter("ep.rx_corrupt").Value())
 }
 
 // TestEndpointAcceptTimeout covers the accept deadline and closed-endpoint

@@ -1,0 +1,44 @@
+package endpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Endpoint datagram framing: every datagram the endpoint sends carries a
+// CRC32-C (Castagnoli) trailer over the encoded packet, and the read loop
+// verifies it before the bytes reach the decoder. UDP's own 16-bit
+// checksum only protects the kernel-to-kernel hop; anything that rewrites
+// datagrams in userspace (a relay, a buggy middlebox, the chaos proxy)
+// re-sends corrupted content under a fresh valid UDP checksum. Without
+// the trailer, a single bit flip in a structurally-valid field — a byte
+// sequence number, an ack block bound — passes packet.Sane and poisons
+// engine state in ways that can stall a transfer permanently (a flipped
+// SEQ places payload at the wrong offset while its PKT.SEQ still gets
+// acked, so the real range is never retransmitted). The trailer turns
+// that whole failure class into a counted drop, and dropped packets are
+// what the protocol's loss machinery is built to recover.
+
+// frameTrailerLen is the size of the CRC32-C trailer on every datagram.
+const frameTrailerLen = 4
+
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrameCRC appends the integrity trailer to an encoded datagram.
+func appendFrameCRC(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, frameCRCTable))
+}
+
+// checkFrameCRC verifies and strips the trailer, returning the encoded
+// packet bytes. ok is false when the datagram is too short to carry a
+// trailer or the checksum does not match its content.
+func checkFrameCRC(b []byte) (payload []byte, ok bool) {
+	if len(b) < frameTrailerLen {
+		return nil, false
+	}
+	n := len(b) - frameTrailerLen
+	if binary.BigEndian.Uint32(b[n:]) != crc32.Checksum(b[:n], frameCRCTable) {
+		return nil, false
+	}
+	return b[:n], true
+}

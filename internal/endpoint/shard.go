@@ -119,7 +119,7 @@ func (sh *shard) handle(m shardMsg) {
 // flushing when the batch is full. Runs only on the shard goroutine.
 func (sh *shard) enqueue(p *packet.Packet, addr *net.UDPAddr) {
 	bp := sh.ep.getBuf()
-	*bp = p.AppendMarshal((*bp)[:0])
+	*bp = appendFrameCRC(p.AppendMarshal((*bp)[:0]))
 	sh.egress = append(sh.egress, batchio.Message{Buf: *bp, Addr: addr})
 	sh.egressBufs = append(sh.egressBufs, bp)
 	if len(sh.egress) >= egressBatchSize {
@@ -160,9 +160,13 @@ func (sh *shard) onPacket(p *packet.Packet, from *net.UDPAddr) {
 		return
 	}
 	if !addrEqual(from, c.peer) {
-		// No connection migration: a known ConnID from a different source
-		// is either a stale peer or spoofing. Drop.
-		sh.ep.mDemuxDrops.Inc()
+		// No connection migration: the connection is bound to its
+		// handshake-time source address, so a known ConnID arriving from
+		// elsewhere — a NAT rebind, a Wi-Fi→cellular roam, or spoofing —
+		// is rejected. Observably: the counter and trace event let an
+		// operator distinguish "peer's address changed" from silent loss.
+		sh.ep.mMigrationRejected.Inc()
+		sh.ep.cfg.Transport.Tracer.MigrationRejected(c.vnow(), c.id, p.PktSeq, p.EncodedLen())
 		return
 	}
 	c.lastRecv = sh.now
@@ -212,6 +216,7 @@ func (sh *shard) acceptSYN(p *packet.Packet, from *net.UDPAddr) {
 	sh.ep.connAdded()
 	c.advance()
 	c.rcv.OnPacket(p) // emits the SYNACK
+	c.nextHS = sh.now.Add(sh.ep.cfg.handshakeRetryRTO(0))
 }
 
 // postDispatch advances connection lifecycle after a packet was handled:
@@ -278,12 +283,26 @@ func (sh *shard) tick() {
 			sh.remove(c, nil) // FINACK never came; tear down anyway
 		case !c.completeAt.IsZero() && now.Sub(c.completeAt) > completeLinger:
 			sh.remove(c, nil)
+		case !c.established && c.snd != nil && c.snd.HandshakeFailed():
+			// The SYN retry budget is exhausted: fail the dial now
+			// instead of letting it idle out the full HandshakeTimeout.
+			ep.mReaped.Inc()
+			sh.remove(c, ErrHandshakeTimeout)
 		case !c.established && c.rcv != nil && now.Sub(c.created) > ep.cfg.HandshakeTimeout:
 			// Stale embryo: the SYN's sender never completed the
 			// handshake. (Dialed connections are governed by Dial's own
-			// handshake timer.)
+			// handshake timer and SYN retry budget.)
 			ep.mReaped.Inc()
 			sh.remove(c, ErrHandshakeTimeout)
+		case !c.established && c.rcv != nil && c.hsRetries < ep.cfg.handshakeRetryBudget() && now.After(c.nextHS):
+			// The embryo's SYNACK (or the client's follow-up) appears
+			// lost; re-emit on the same doubling schedule the client's
+			// SYN retransmission uses, within the same retry budget.
+			c.hsRetries++
+			if c.rcv.RetransmitSYNACK() {
+				ep.mSynackRetrans.Inc()
+			}
+			c.nextHS = now.Add(ep.cfg.handshakeRetryRTO(c.hsRetries))
 		case ep.cfg.IdleTimeout > 0 && c.established && now.Sub(c.lastRecv) > ep.cfg.IdleTimeout:
 			ep.mReaped.Inc()
 			sh.remove(c, ErrIdleTimeout)

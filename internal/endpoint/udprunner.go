@@ -19,6 +19,7 @@ const (
 	RoleReceiver
 )
 
+// String returns the role name for logs and error messages.
 func (r Role) String() string {
 	switch r {
 	case RoleSender:

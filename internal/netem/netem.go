@@ -1,11 +1,29 @@
-// Package netem emulates wired network paths: a serialization rate, a
-// propagation delay, a bounded drop-tail queue and independent Bernoulli
-// loss, configurable per direction.
+// Package netem emulates adversarial network paths, in two flavours that
+// share one impairment model:
+//
+//   - Link/Pipe: in-sim unidirectional/duplex paths driven by a sim.Loop —
+//     serialization rate, propagation delay, a bounded drop-tail queue,
+//     Bernoulli loss, and the Impairments models (Gilbert–Elliott burst
+//     loss, duplication, bit corruption, jitter, coarse reordering).
+//   - UDPProxy: a real-socket UDP relay that applies the same Impairments
+//     to live datagrams between two endpoints, plus a Rebind hook that
+//     emulates a NAT timeout / Wi-Fi roam by changing the proxy's
+//     server-facing source address mid-flow.
 //
 // It stands in for the hardware network emulator (Spirent Attero) the TACK
 // paper uses to impose WAN latency and impairments between the wireless
 // router and the server (paper §6.1, §6.5): bandwidth, RTT, data-path loss
 // ρ and ACK-path loss ρ′ are exactly the knobs exposed here.
+//
+// Threading and ownership rules: a Link is confined to its sim.Loop
+// goroutine — Send, the stats fields and the Deliver callback all run
+// there, and the link retains no reference to payloads beyond delivery. A
+// UDPProxy owns two internal relay goroutines; its stats are atomics,
+// readable from any goroutine, and every forwarded datagram is copied into
+// a fresh buffer before any delayed or duplicated transmission, so callers
+// never share buffers with the proxy. Impairment verdicts come from a
+// per-direction seeded Impairer, making the drop/duplicate/corrupt/jitter
+// sequence reproducible for a given seed regardless of timing.
 package netem
 
 import (
@@ -37,6 +55,11 @@ type Config struct {
 	// ReorderDelay is the extra delay applied to reordered packets
 	// (default 2 ms when ReorderRate is set).
 	ReorderDelay sim.Time
+	// Impair layers the adversarial models (burst loss, duplication,
+	// corruption, jitter) on top of the base behaviour; the zero value
+	// changes nothing. A corrupted packet is counted and dropped — on a
+	// real link the frame check sequence would reject it before delivery.
+	Impair Impairments
 }
 
 // DefaultQueueBytes returns the queue bound in force for the config.
@@ -57,6 +80,7 @@ type Link struct {
 	cfg  Config
 	out  Deliver
 	rng  *rand.Rand
+	imp  *Impairer
 
 	queueBytes int
 	queueLimit int
@@ -64,23 +88,29 @@ type Link struct {
 	busyUntil sim.Time
 
 	// Stats.
-	Sent      int
-	Dropped   int // loss-model drops
-	Overflows int // queue-full drops
-	Reordered int // packets delayed by the reordering model
-	Delivered int
-	SentBytes int64
+	Sent       int
+	Dropped    int // loss-model drops (Bernoulli and Gilbert–Elliott)
+	Corrupted  int // corruption-model drops (failed FCS)
+	Duplicated int // extra copies injected by the duplication model
+	Overflows  int // queue-full drops
+	Reordered  int // packets delayed by the reordering model
+	Delivered  int
+	SentBytes  int64
 }
 
 // NewLink builds a link delivering surviving packets to out.
 func NewLink(loop *sim.Loop, cfg Config, out Deliver) *Link {
-	return &Link{
+	l := &Link{
 		loop:       loop,
 		cfg:        cfg,
 		out:        out,
 		rng:        loop.Rand(),
 		queueLimit: cfg.DefaultQueueBytes(),
 	}
+	if cfg.Impair.Active() {
+		l.imp = NewImpairer(cfg.Impair, l.rng)
+	}
+	return l
 }
 
 // Config returns the link configuration.
@@ -100,7 +130,6 @@ func (l *Link) Send(payload any, size int) {
 		l.Dropped++
 		return
 	}
-	now := l.loop.Now()
 	extra := sim.Time(0)
 	if l.cfg.ReorderRate > 0 && l.rng.Float64() < l.cfg.ReorderRate {
 		extra = l.cfg.ReorderDelay
@@ -109,6 +138,35 @@ func (l *Link) Send(payload any, size int) {
 		}
 		l.Reordered++
 	}
+	copies := 1
+	if l.imp != nil {
+		v := l.imp.Next()
+		switch {
+		case v.Corrupt:
+			// A corrupted frame fails the link-layer FCS: count and drop.
+			l.Corrupted++
+			return
+		case v.Drop:
+			l.Dropped++
+			return
+		}
+		extra += v.Delay(l.cfg.Impair)
+		if v.Reorder {
+			l.Reordered++
+		}
+		if v.Duplicate {
+			copies = 2
+			l.Duplicated++
+		}
+	}
+	for i := 0; i < copies; i++ {
+		l.transmit(payload, size, extra)
+	}
+}
+
+// transmit runs one copy of a surviving packet through the queue/serializer
+// and schedules its delivery.
+func (l *Link) transmit(payload any, size int, extra sim.Time) {
 	if l.cfg.RateBps <= 0 {
 		// Infinite-rate link: pure delay line.
 		l.SentBytes += int64(size)
@@ -122,6 +180,7 @@ func (l *Link) Send(payload any, size int) {
 		l.Overflows++
 		return
 	}
+	now := l.loop.Now()
 	l.queueBytes += size
 	l.SentBytes += int64(size)
 	ser := sim.Time(float64(size*8) / l.cfg.RateBps * 1e9)

@@ -1,0 +1,267 @@
+package netem
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig configures a UDPProxy.
+type ProxyConfig struct {
+	// Target is the server address ("host:port") relayed-to datagrams are
+	// forwarded to.
+	Target string
+	// ToServer impairs the client→server direction.
+	ToServer Impairments
+	// ToClient impairs the server→client direction.
+	ToClient Impairments
+	// Delay is a base one-way delay added in each direction (on top of any
+	// per-packet reorder hold-back or jitter).
+	Delay time.Duration
+	// Seed seeds the per-direction impairment RNGs (the two directions use
+	// Seed and Seed+1). Zero selects seed 1 so runs are reproducible by
+	// default.
+	Seed int64
+}
+
+// ProxyDirStats counts per-direction proxy decisions. All fields are
+// cumulative datagram counts.
+type ProxyDirStats struct {
+	// Received datagrams read from the socket.
+	Received uint64
+	// Forwarded datagrams written onward (duplicates counted separately).
+	Forwarded uint64
+	// Dropped by the Bernoulli or Gilbert–Elliott loss models.
+	Dropped uint64
+	// Duplicated extra copies injected.
+	Duplicated uint64
+	// Corrupted datagrams that had bits flipped before forwarding.
+	Corrupted uint64
+	// Reordered datagrams held back by the reordering model.
+	Reordered uint64
+}
+
+// UDPProxy is a real-socket UDP relay that sits between a client and a
+// server endpoint and applies Impairments to live datagrams in both
+// directions. Unlike the in-sim Link, corrupted datagrams are forwarded
+// with their bits flipped, exercising the receiver's decode and sanity
+// validation exactly as radio interference above the FCS would.
+//
+// Rebind closes and re-opens the server-facing socket mid-flow, changing
+// the source address the server observes for all subsequent datagrams —
+// the same thing a NAT mapping timeout or a Wi-Fi→cellular roam does to a
+// connection. The server's demux is expected to reject the "migrated"
+// traffic (counted by its ep.migration_rejected metric).
+//
+// The proxy relays a single client (the most recent source address seen on
+// the client-facing socket); that is sufficient for endpoint tests, where
+// one client Endpoint multiplexes any number of connections over one
+// socket.
+type UDPProxy struct {
+	cfg    ProxyConfig
+	client *net.UDPConn // client-facing, fixed for the proxy's lifetime
+	target *net.UDPAddr
+
+	mu         sync.Mutex
+	server     *net.UDPConn // server-facing; replaced by Rebind
+	clientAddr *net.UDPAddr // most recent client source address
+	closed     bool
+	impUp      *Impairer
+	impDown    *Impairer
+	rngUp      *rand.Rand
+	rngDown    *rand.Rand
+
+	up, down ProxyDirStats // guarded by mu
+	rebinds  atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// NewUDPProxy starts a proxy relaying between a fresh loopback socket
+// (Addr) and cfg.Target.
+func NewUDPProxy(cfg ProxyConfig) (*UDPProxy, error) {
+	target, err := net.ResolveUDPAddr("udp", cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	client, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	server, err := net.DialUDP("udp", nil, target)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &UDPProxy{
+		cfg:     cfg,
+		client:  client,
+		target:  target,
+		server:  server,
+		rngUp:   rand.New(rand.NewSource(seed)),
+		rngDown: rand.New(rand.NewSource(seed + 1)),
+	}
+	p.impUp = NewImpairer(cfg.ToServer, p.rngUp)
+	p.impDown = NewImpairer(cfg.ToClient, p.rngDown)
+	p.wg.Add(2)
+	go p.clientLoop()
+	go p.serverLoop(server)
+	return p, nil
+}
+
+// Addr returns the client-facing address; clients dial this instead of the
+// real server.
+func (p *UDPProxy) Addr() *net.UDPAddr { return p.client.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of both directions' counters.
+func (p *UDPProxy) Stats() (toServer, toClient ProxyDirStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up, p.down
+}
+
+// Rebinds returns how many times Rebind has succeeded.
+func (p *UDPProxy) Rebinds() uint64 { return p.rebinds.Load() }
+
+// Rebind swaps the server-facing socket for a new one, changing the source
+// address the server sees mid-flow (NAT timeout / Wi-Fi roam emulation).
+// Datagrams already scheduled on the old socket are silently lost, like
+// packets in flight through a dying NAT mapping.
+func (p *UDPProxy) Rebind() error {
+	next, err := net.DialUDP("udp", nil, p.target)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		next.Close()
+		return errors.New("netem: proxy closed")
+	}
+	old := p.server
+	p.server = next
+	p.mu.Unlock()
+	old.Close()
+	p.rebinds.Add(1)
+	p.wg.Add(1)
+	go p.serverLoop(next)
+	return nil
+}
+
+// Close shuts both sockets down and waits for the relay goroutines to
+// exit. Impaired datagrams still pending delayed delivery are discarded.
+func (p *UDPProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	server := p.server
+	p.mu.Unlock()
+	p.client.Close()
+	server.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// clientLoop relays client→server, learning the client's source address.
+func (p *UDPProxy) clientLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := p.client.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.clientAddr == nil || !from.IP.Equal(p.clientAddr.IP) || from.Port != p.clientAddr.Port {
+			addr := *from
+			p.clientAddr = &addr
+		}
+		out := p.server
+		send := p.impair(buf[:n], p.impUp, p.rngUp, p.cfg.ToServer, &p.up)
+		p.mu.Unlock()
+		for _, s := range send {
+			p.transmit(s.buf, s.delay, func(b []byte) { out.Write(b) })
+		}
+	}
+}
+
+// serverLoop relays server→client for one server-facing socket; Rebind
+// starts a fresh loop for its replacement socket.
+func (p *UDPProxy) serverLoop(conn *net.UDPConn) {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		dst := p.clientAddr
+		send := p.impair(buf[:n], p.impDown, p.rngDown, p.cfg.ToClient, &p.down)
+		p.mu.Unlock()
+		if dst == nil {
+			continue
+		}
+		for _, s := range send {
+			p.transmit(s.buf, s.delay, func(b []byte) { p.client.WriteToUDP(b, dst) })
+		}
+	}
+}
+
+// scheduledSend is one (possibly duplicated) copy awaiting transmission.
+type scheduledSend struct {
+	buf   []byte
+	delay time.Duration
+}
+
+// impair draws the verdict for one datagram and returns the copies to
+// transmit (empty when dropped). Caller holds p.mu.
+func (p *UDPProxy) impair(datagram []byte, im *Impairer, rng *rand.Rand, imp Impairments, st *ProxyDirStats) []scheduledSend {
+	st.Received++
+	v := im.Next()
+	if v.Drop {
+		st.Dropped++
+		return nil
+	}
+	// Copy before any mutation or delayed write: the read buffer is reused
+	// immediately by the relay loop.
+	buf := append([]byte(nil), datagram...)
+	if v.Corrupt {
+		st.Corrupted++
+		CorruptBytes(buf, rng)
+	}
+	if v.Reorder {
+		st.Reordered++
+	}
+	delay := p.cfg.Delay + time.Duration(v.Delay(imp))
+	st.Forwarded++
+	send := []scheduledSend{{buf: buf, delay: delay}}
+	if v.Duplicate {
+		st.Duplicated++
+		dup := append([]byte(nil), buf...)
+		send = append(send, scheduledSend{buf: dup, delay: delay})
+	}
+	return send
+}
+
+// transmit writes the datagram now or after its scheduled delay. Write
+// errors (e.g. a socket closed by Rebind or Close) are deliberately
+// swallowed: to the protocol under test they are indistinguishable from
+// loss.
+func (p *UDPProxy) transmit(buf []byte, delay time.Duration, write func([]byte)) {
+	if delay <= 0 {
+		write(buf)
+		return
+	}
+	time.AfterFunc(delay, func() { write(buf) })
+}

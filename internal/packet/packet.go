@@ -443,3 +443,79 @@ func MaxBlocks(mss int) int {
 	}
 	return n
 }
+
+// errInsane is the base error for Sane failures.
+var errInsane = errors.New("packet: insane field")
+
+// Sane performs structural sanity validation on a decoded packet, catching
+// in-flight corruption that survives DecodeInto's framing checks (a flipped
+// bit in a count, sequence, or timestamp field still parses). It verifies
+// internal consistency only — invariants any honest sender upholds — so a
+// legitimate packet never fails, while a corrupted one is rejected before
+// its fields can poison RTT estimation, loss accounting, or retransmission
+// state. It deliberately is not a checksum: corruption confined to payload
+// bytes is indistinguishable from valid data at this layer. Content
+// integrity belongs to the framing around the codec — the endpoint wraps
+// every datagram in a CRC32-C trailer, and the in-sim link drops corrupted
+// frames outright (FCS semantics) — leaving Sane as the defense against
+// hostile-but-well-framed input.
+func (p *Packet) Sane() error {
+	if p.SentAt < 0 {
+		return fmt.Errorf("%w: negative departure timestamp", errInsane)
+	}
+	switch p.Type {
+	case TypeData, TypeSYN:
+		if p.Seq+uint64(len(p.Payload)) < p.Seq {
+			return fmt.Errorf("%w: byte range wraps uint64", errInsane)
+		}
+		// The sender's oldest outstanding packet can never exceed the
+		// packet number it just minted.
+		if p.OldestPktSeq > p.PktSeq+1 {
+			return fmt.Errorf("%w: OldestPktSeq %d beyond PktSeq %d", errInsane, p.OldestPktSeq, p.PktSeq)
+		}
+	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
+		if p.IACK > IACKKeepalive {
+			return fmt.Errorf("%w: unknown IACK kind %d", errInsane, p.IACK)
+		}
+		if a := p.Ack; a != nil {
+			if err := a.sane(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sane validates the internal consistency of a feedback block.
+func (a *AckInfo) sane() error {
+	// The contiguous frontier and the completeness frontier can reach at
+	// most one past the largest packet number seen.
+	if a.CumPktSeq > a.LargestPktSeq+1 {
+		return fmt.Errorf("%w: CumPktSeq %d beyond LargestPktSeq %d", errInsane, a.CumPktSeq, a.LargestPktSeq)
+	}
+	if a.ReportedThrough > a.LargestPktSeq+1 {
+		return fmt.Errorf("%w: ReportedThrough %d beyond LargestPktSeq %d", errInsane, a.ReportedThrough, a.LargestPktSeq)
+	}
+	if a.AckDelay < 0 || a.EchoDeparture < 0 || a.FirstEchoDeparture < 0 {
+		return fmt.Errorf("%w: negative timing field", errInsane)
+	}
+	if a.LossRatePermille > 1000 {
+		return fmt.Errorf("%w: loss rate %d‰ exceeds 1000", errInsane, a.LossRatePermille)
+	}
+	for _, blocks := range [2][]seqspace.Range{a.AckedBlocks, a.UnackedBlocks} {
+		prev := uint64(0)
+		for _, r := range blocks {
+			if r.Hi <= r.Lo {
+				return fmt.Errorf("%w: empty/inverted block %v", errInsane, r)
+			}
+			if r.Lo < prev {
+				return fmt.Errorf("%w: blocks out of order at %v", errInsane, r)
+			}
+			if r.Hi > a.LargestPktSeq+1 {
+				return fmt.Errorf("%w: block %v beyond LargestPktSeq %d", errInsane, r, a.LargestPktSeq)
+			}
+			prev = r.Hi
+		}
+	}
+	return nil
+}

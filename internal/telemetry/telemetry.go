@@ -85,6 +85,12 @@ const (
 	// Trigger=TrigQueueFull or TrigRetryLimit, Len=frame bytes.
 	KindMACDrop
 
+	// KindMigrationRejected records the endpoint demux dropping a packet
+	// whose source address differs from the connection's bound peer (NAT
+	// rebinding / roam; the endpoint does not support path migration):
+	// Flow=ConnID, PktSeq=arriving packet number, Len=datagram bytes.
+	KindMigrationRejected
+
 	numKinds
 )
 
@@ -103,6 +109,8 @@ var kindNames = [numKinds]string{
 	KindMACTx:        "mac_tx",
 	KindMACCollision: "mac_collision",
 	KindMACDrop:      "mac_drop",
+
+	KindMigrationRejected: "migration_rejected",
 }
 
 // String returns the event name used on the wire (JSONL "ev" field).
@@ -459,4 +467,14 @@ func (t *Tracer) MACDrop(now sim.Time, station uint32, cause uint8, bytes int) {
 	}
 	t.Emit(Event{Sim: now, Kind: KindMACDrop, Flow: station, Trigger: cause,
 		Len: int64(bytes)})
+}
+
+// MigrationRejected records the demux rejecting a packet that arrived for
+// an established connection from the wrong source address.
+func (t *Tracer) MigrationRejected(now sim.Time, flow uint32, pktSeq uint64, bytes int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindMigrationRejected, Flow: flow,
+		PktSeq: pktSeq, Len: int64(bytes)})
 }

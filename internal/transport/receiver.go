@@ -38,6 +38,10 @@ type Receiver struct {
 	ackSeq     uint64 // acknowledgment sequence numbers (for ρ′ at sender)
 	nextPktSeq uint64
 
+	// Handshake retransmission state.
+	synSeen      bool     // a SYN has arrived (SYNACK state is valid)
+	synDeparture sim.Time // SentAt of the most recent SYN, echoed on retransmits
+
 	// Legacy-mode echo state: departure timestamp of the first packet that
 	// triggered the pending (delayed) ack.
 	legacyEchoDeparture sim.Time
@@ -204,11 +208,33 @@ func (r *Receiver) OnPacket(p *packet.Packet) {
 }
 
 func (r *Receiver) onSYN(p *packet.Packet) {
+	r.synSeen = true
+	r.synDeparture = p.SentAt
+	r.emitSYNACK(p.SentAt)
+}
+
+// RetransmitSYNACK re-emits the SYNACK for a connection whose handshake has
+// not completed — the embryo's previous SYNACK was presumably lost. The
+// echoed departure timestamp is the original SYN's, so the client's initial
+// RTT sample stays honest (it measures SYN→SYNACK, inflated only by the
+// genuine retransmission delay). It reports false, and emits nothing, if no
+// SYN has arrived yet.
+func (r *Receiver) RetransmitSYNACK() bool {
+	if !r.synSeen {
+		return false
+	}
+	r.Stats.SYNACKRetransmits++
+	r.emitSYNACK(r.synDeparture)
+	return true
+}
+
+// emitSYNACK sends one SYNACK echoing the given SYN departure time.
+func (r *Receiver) emitSYNACK(echo sim.Time) {
 	r.out(&packet.Packet{
 		Type: packet.TypeSYNACK, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq,
 		SentAt: r.loop.Now(),
 		Ack: &packet.AckInfo{
-			EchoDeparture: p.SentAt,
+			EchoDeparture: echo,
 			Window:        r.buf.Window(),
 			AckSeq:        r.ackSeq,
 		},

@@ -40,6 +40,10 @@ type Sender struct {
 	legacyRTT *rtt.Sampler      // legacy-mode biased estimator
 	synSentAt sim.Time
 
+	// Handshake retransmission state.
+	synRetries int  // SYNs re-sent so far
+	hsFailed   bool // retry budget exhausted without a SYNACK
+
 	// Loss bookkeeping.
 	recoverPkt      uint64 // loss episode ends when acks pass this PKT.SEQ (TACK)
 	recoverSeq      uint64 // ... or this byte seq (legacy)
@@ -76,6 +80,7 @@ type Sender struct {
 	mTimeouts     *telemetry.Counter
 	mAcksReceived *telemetry.Counter
 	mLossEpisodes *telemetry.Counter
+	mSYNRetrans   *telemetry.Counter
 	mRTT          *telemetry.Histogram
 
 	// OnDone fires once when the transfer completes (all bytes acked).
@@ -110,6 +115,7 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 		mTimeouts:     cfg.Metrics.Counter("snd.timeouts"),
 		mAcksReceived: cfg.Metrics.Counter("snd.acks_received"),
 		mLossEpisodes: cfg.Metrics.Counter("snd.loss_episodes"),
+		mSYNRetrans:   cfg.Metrics.Counter("snd.syn_retransmits"),
 		mRTT:          cfg.Metrics.Histogram("snd.rtt_s"),
 	}
 	s.sendTimer = sim.NewTimer(loop, s.trySend)
@@ -121,7 +127,7 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 func (s *Sender) Start() {
 	s.synSentAt = s.loop.Now()
 	s.out(&packet.Packet{Type: packet.TypeSYN, ConnID: s.cfg.ConnID, SentAt: s.loop.Now()})
-	s.rtoTimer.ResetAfter(s.rto())
+	s.rtoTimer.ResetAfter(s.handshakeRTO())
 }
 
 // Done reports whether the configured transfer completed.
@@ -129,6 +135,24 @@ func (s *Sender) Done() bool { return s.done }
 
 // Established reports whether the handshake completed.
 func (s *Sender) Established() bool { return s.established }
+
+// HandshakeFailed reports whether the SYN retry budget (MaxSYNRetries) was
+// exhausted without a SYNACK. The owner is expected to tear the connection
+// down with a handshake-timeout error.
+func (s *Sender) HandshakeFailed() bool { return s.hsFailed }
+
+// handshakeRTO returns the SYN retransmission timeout for the current
+// retry count: HandshakeRTO doubled per retry, clamped to MaxRTO.
+func (s *Sender) handshakeRTO() sim.Time {
+	rto := s.cfg.HandshakeRTO
+	for i := 0; i < s.synRetries; i++ {
+		rto *= 2
+		if rto >= s.cfg.MaxRTO {
+			return s.cfg.MaxRTO
+		}
+	}
+	return rto
+}
 
 // Controller exposes the congestion controller (diagnostics). Telemetry
 // wrappers are peeled off so callers see the algorithm itself.
@@ -434,10 +458,20 @@ func (s *Sender) restartRTO() {
 func (s *Sender) onRTO() {
 	now := s.loop.Now()
 	if !s.established {
-		// Handshake retransmission.
+		// Handshake retransmission: a dedicated schedule (HandshakeRTO
+		// doubling, MaxSYNRetries budget) independent of the data-path
+		// RTO, since no RTT estimate exists yet and a stalled handshake
+		// must fail fast rather than back off for minutes.
+		if s.synRetries >= s.cfg.MaxSYNRetries {
+			s.hsFailed = true
+			s.tracer.RTOFired(now, s.cfg.ConnID, 0, s.synRetries)
+			return
+		}
+		s.synRetries++
+		s.Stats.SYNRetransmits++
+		s.mSYNRetrans.Inc()
 		s.out(&packet.Packet{Type: packet.TypeSYN, ConnID: s.cfg.ConnID, SentAt: now})
-		s.rtoBackoff++
-		s.rtoTimer.ResetAfter(s.rto())
+		s.rtoTimer.ResetAfter(s.handshakeRTO())
 		return
 	}
 	if s.buf.Len() == 0 {

@@ -114,6 +114,17 @@ type Config struct {
 	AdaptiveSettle bool
 	// MinRTO / MaxRTO clamp the retransmission timeout.
 	MinRTO, MaxRTO sim.Time
+	// HandshakeRTO is the initial SYN retransmission timeout, before any
+	// RTT sample exists. It doubles on every retry (clamped to MaxRTO) and
+	// defaults to 250 ms — aggressive relative to the steady-state MinRTO
+	// because a lost SYN stalls the whole connection and there is nothing
+	// in flight to protect from spurious retransmission.
+	HandshakeRTO sim.Time
+	// MaxSYNRetries caps SYN retransmissions (not counting the original).
+	// When the budget is exhausted without a SYNACK the sender reports
+	// HandshakeFailed. Default 8; negative disables retransmission
+	// entirely (a single SYN is sent).
+	MaxSYNRetries int
 	// ConnID tags packets (useful when multiplexing flows over one path).
 	ConnID uint32
 	// Tracer records structured per-event telemetry for this connection
@@ -158,6 +169,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 60 * sim.Second
+	}
+	if c.HandshakeRTO <= 0 {
+		c.HandshakeRTO = 250 * sim.Millisecond
+	}
+	if c.MaxSYNRetries == 0 {
+		c.MaxSYNRetries = 8
+	} else if c.MaxSYNRetries < 0 {
+		c.MaxSYNRetries = 0
 	}
 	return c
 }
@@ -206,6 +225,9 @@ func (c Config) Validate() error {
 	if c.MinRTO > 0 && c.MaxRTO > 0 && c.MinRTO > c.MaxRTO {
 		return fmt.Errorf("transport: MinRTO %v above MaxRTO %v", c.MinRTO, c.MaxRTO)
 	}
+	if c.HandshakeRTO < 0 {
+		return fmt.Errorf("transport: negative HandshakeRTO %v", c.HandshakeRTO)
+	}
 	if c.AppPaced && c.TransferBytes > 0 {
 		return fmt.Errorf("transport: AppPaced and TransferBytes=%d both set; a stream has one termination authority", c.TransferBytes)
 	}
@@ -219,15 +241,16 @@ func (c Config) Validate() error {
 
 // SenderStats aggregates sender-side counters.
 type SenderStats struct {
-	DataPackets   int   // DATA transmissions, including retransmissions
-	DataBytes     int64 // payload bytes transmitted (incl. retransmissions)
-	Retransmits   int
-	AcksReceived  int
-	IACKsReceived int
-	Timeouts      int
-	LossEpisodes  int
-	BytesAcked    int64
-	RTTSyncsSent  int
+	DataPackets    int   // DATA transmissions, including retransmissions
+	DataBytes      int64 // payload bytes transmitted (incl. retransmissions)
+	Retransmits    int
+	AcksReceived   int
+	IACKsReceived  int
+	Timeouts       int
+	LossEpisodes   int
+	BytesAcked     int64
+	RTTSyncsSent   int
+	SYNRetransmits int // SYNs re-sent under the handshake backoff schedule
 }
 
 // ReceiverStats aggregates receiver-side counters.
@@ -241,6 +264,9 @@ type ReceiverStats struct {
 	WindowIACKs    int
 	LossesDetected int
 	Overflows      int
+	// SYNACKRetransmits counts SYNACKs re-emitted for an embryo whose
+	// previous SYNACK (or the client's follow-up) apparently got lost.
+	SYNACKRetransmits int
 }
 
 // AcksSent returns the total acknowledgments the receiver emitted.
