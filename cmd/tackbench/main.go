@@ -8,6 +8,7 @@
 //	tackbench fig3 fig10a ...      # run specific experiments
 //	tackbench run [-path wlan] [-trace out.jsonl] [-json]   # one traced flow
 //	tackbench chaos [-conns 8] [-bytes 256K] [-seed 7]      # adversarial live soak
+//	tackbench mux [-objects 8] [-bytes 256K] [-json]        # stream multiplexing vs serialized
 //
 // Flags:
 //
@@ -54,6 +55,9 @@ func main() {
 		return
 	case "chaos":
 		chaosCmd(args[1:])
+		return
+	case "mux":
+		muxCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tacktp/tack/internal/holbench"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
+)
+
+// muxCmd runs the multi-object fetch comparison: N objects multiplexed on
+// N streams versus the same objects serialized on one stream, over the
+// lossy 802.11n hybrid path. This is the head-of-line-blocking benchmark
+// behind BENCH_stream.json:
+//
+//	tackbench mux -objects 8 -bytes 256K -loss 0.02 -json
+func muxCmd(args []string) {
+	fs := flag.NewFlagSet("mux", flag.ExitOnError)
+	objects := fs.Int("objects", 8, "number of concurrent objects")
+	bytesStr := fs.String("bytes", "256K", "object size (K/M/G)")
+	loss := fs.Float64("loss", 0.02, "WAN data-direction loss rate (0 disables)")
+	sched := fs.String("sched", "rr", "stream scheduler for the multiplexed arm: rr, priority, weighted")
+	windowStr := fs.String("window", "64K", "per-stream receive window (K/M/G)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
+	fs.Parse(args)
+
+	size, err := parseBytes(*bytesStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -bytes: %w", err))
+	}
+	window, err := parseBytes(*windowStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -window: %w", err))
+	}
+	lossCfg := *loss
+	if lossCfg == 0 {
+		lossCfg = -1 // holbench convention: negative selects lossless
+	}
+	base := holbench.Config{
+		Objects: *objects, ObjectBytes: int(size), Loss: lossCfg,
+		Scheduler: *sched, StreamWindow: int(window), Seed: *seed,
+	}
+
+	serial := base
+	serial.Serialize = true
+	sres, err := holbench.Run(serial)
+	if err != nil {
+		fatal(fmt.Errorf("serialized arm: %w", err))
+	}
+	mres, err := holbench.Run(base)
+	if err != nil {
+		fatal(fmt.Errorf("multiplexed arm: %w", err))
+	}
+	improvement := 0.0
+	if sres.P95 > 0 {
+		improvement = 1 - mres.P95.Seconds()/sres.P95.Seconds()
+	}
+
+	// Scheduler fairness profile on the same workload (lossless, so the
+	// index reflects scheduling policy, not loss luck).
+	type schedResult struct {
+		Fairness   float64 `json:"fairness"`
+		GoodputBps float64 `json:"goodput_bps"`
+	}
+	schedProfiles := map[string]schedResult{}
+	for _, name := range []string{
+		stream.SchedulerRoundRobin, stream.SchedulerPriority, stream.SchedulerWeighted,
+	} {
+		cfg := base
+		cfg.Loss = -1
+		cfg.Scheduler = name
+		r, err := holbench.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("scheduler %s: %w", name, err))
+		}
+		schedProfiles[name] = schedResult{Fairness: r.Fairness, GoodputBps: r.GoodputBps}
+	}
+
+	type armResult struct {
+		P50Ms       float64 `json:"p50_ms"`
+		P95Ms       float64 `json:"p95_ms"`
+		MaxMs       float64 `json:"max_ms"`
+		GoodputBps  float64 `json:"goodput_bps"`
+		Retransmits int     `json:"retransmits"`
+		Fairness    float64 `json:"fairness"`
+	}
+	arm := func(r holbench.Result) armResult {
+		return armResult{
+			P50Ms: ms(r.P50), P95Ms: ms(r.P95), MaxMs: ms(r.Max),
+			GoodputBps: r.GoodputBps, Retransmits: r.Retransmits, Fairness: r.Fairness,
+		}
+	}
+	if *jsonOut {
+		doc := struct {
+			Objects        int                    `json:"objects"`
+			ObjectBytes    int64                  `json:"object_bytes"`
+			Loss           float64                `json:"loss"`
+			Scheduler      string                 `json:"scheduler"`
+			Serialized     armResult              `json:"serialized"`
+			Multiplexed    armResult              `json:"multiplexed"`
+			P95Improvement float64                `json:"p95_improvement"`
+			Schedulers     map[string]schedResult `json:"schedulers"`
+		}{
+			Objects: *objects, ObjectBytes: size, Loss: *loss, Scheduler: *sched,
+			Serialized: arm(sres), Multiplexed: arm(mres),
+			P95Improvement: improvement, Schedulers: schedProfiles,
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("mux: %d × %s objects, loss %.1f%%, scheduler %s\n",
+		*objects, *bytesStr, *loss*100, *sched)
+	fmt.Printf("  serialized : p50 %v  p95 %v  goodput %.1f Mbit/s  retx %d\n",
+		sres.P50, sres.P95, sres.GoodputBps/1e6, sres.Retransmits)
+	fmt.Printf("  multiplexed: p50 %v  p95 %v  goodput %.1f Mbit/s  retx %d  fairness %.3f\n",
+		mres.P50, mres.P95, mres.GoodputBps/1e6, mres.Retransmits, mres.Fairness)
+	fmt.Printf("  p95 per-object completion improvement: %.1f%%\n", improvement*100)
+	for _, name := range []string{
+		stream.SchedulerRoundRobin, stream.SchedulerPriority, stream.SchedulerWeighted,
+	} {
+		p := schedProfiles[name]
+		fmt.Printf("  scheduler %-8s fairness %.3f  goodput %.1f Mbit/s\n",
+			name, p.Fairness, p.GoodputBps/1e6)
+	}
+}
+
+// ms converts a simulated duration to milliseconds for JSON output.
+func ms(t sim.Time) float64 { return t.Seconds() * 1e3 }

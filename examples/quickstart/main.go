@@ -1,13 +1,16 @@
-// Quickstart: transfer a bounded stream between a TCP-TACK sender and
-// receiver over real UDP sockets on loopback, using only the public
-// tack package, then print the transfer outcome and acknowledgment
-// statistics.
+// Quickstart: transfer 16 MiB between a TCP-TACK sender and receiver
+// over real UDP sockets on loopback, using only the public tack package
+// and the stream API: the client opens a stream on a multiplexed
+// connection and writes the payload; the server accepts the stream and
+// reads it to EOF. The transfer outcome and acknowledgment statistics
+// are printed at the end.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"time"
 
@@ -17,12 +20,16 @@ import (
 func main() {
 	const size = 16 << 20 // 16 MiB
 
-	// TCP-TACK with the paper's defaults (β=4, L=2, rich TACKs, BBR).
+	// TCP-TACK with the paper's defaults (β=4, L=2, rich TACKs, BBR),
+	// plus stream multiplexing. A single stream is the modern shape of
+	// the old single-bytestream pipe; more OpenStream calls would share
+	// the same connection.
+	streams := tack.DefaultStreamConfig()
 	cfg := tack.Config{
-		Mode:          tack.ModeTACK,
-		CC:            "bbr",
-		RichTACK:      true,
-		TransferBytes: size,
+		Mode:     tack.ModeTACK,
+		CC:       "bbr",
+		RichTACK: true,
+		Streams:  &streams,
 	}
 
 	// One endpoint serves every inbound connection on its socket.
@@ -31,23 +38,62 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	cli, err := tack.Listen("127.0.0.1:0", tack.EndpointConfig{Transport: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Server: accept the connection, then its first stream, and drain it.
+	done := make(chan int64, 1)
+	servedCh := make(chan *tack.Conn, 1)
+	go func() {
+		served, err := srv.AcceptTimeout(30 * time.Second)
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		servedCh <- served
+		rs, err := served.AcceptStream(30 * time.Second)
+		if err != nil {
+			log.Fatalf("accept stream: %v", err)
+		}
+		n, err := io.Copy(io.Discard, rs)
+		if err != nil {
+			log.Fatalf("read stream: %v", err)
+		}
+		done <- n
+	}()
 
 	start := time.Now()
-	conn, err := tack.Dial(srv.LocalAddr().String(), cfg)
+	conn, err := cli.Dial(srv.LocalAddr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
-	served, err := srv.Accept()
+	ss, err := conn.OpenStream()
 	if err != nil {
 		log.Fatal(err)
+	}
+	chunk := make([]byte, 64<<10)
+	for sent := 0; sent < size; sent += len(chunk) {
+		if _, err := ss.Write(chunk); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+	}
+	ss.Close() // FIN: no more data on this stream
+
+	got := <-done
+	elapsed := time.Since(start)
+	if got != size {
+		log.Fatalf("delivered %d bytes, want %d", got, size)
 	}
 
-	// Wait for both halves: the sender finishes when every byte is
-	// acknowledged, the receiver shortly after its completion linger.
-	if err := conn.Wait(60 * time.Second); err != nil {
-		log.Fatalf("transfer failed: %v", err)
+	// Tear the connection down gracefully, then read the final stats
+	// (safe once Wait reports the connection finished).
+	served := <-servedCh
+	conn.Close()
+	if err := conn.Wait(30 * time.Second); err != nil {
+		log.Fatalf("close: %v", err)
 	}
-	elapsed := time.Since(start)
 	if err := served.Wait(30 * time.Second); err != nil {
 		log.Fatalf("server side: %v", err)
 	}
@@ -55,7 +101,7 @@ func main() {
 	goodput := float64(size) * 8 / elapsed.Seconds() / 1e6
 	snd, rcv := conn.Sender().Stats, served.Receiver().Stats
 
-	fmt.Printf("transferred %d MiB in %v  (%.1f Mbit/s goodput)\n",
+	fmt.Printf("streamed %d MiB in %v  (%.1f Mbit/s goodput)\n",
 		size>>20, elapsed.Round(time.Millisecond), goodput)
 	fmt.Printf("data packets: %d (retransmits %d)\n",
 		snd.DataPackets, snd.Retransmits)

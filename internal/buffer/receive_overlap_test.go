@@ -1,0 +1,188 @@
+package buffer
+
+// Receive-side overlap handling: retransmitted ranges that partially
+// overlap data already delivered to the application, already buffered, or
+// both. The invariants: Offer accepts each byte at most once (accounting
+// must never double-count), already-consumed bytes are silently clipped,
+// and window/blocked accounting stays exact through arbitrary overlap.
+
+import "testing"
+
+// TestOfferStraddlesConsumedFrontier retransmits a range that begins
+// before the application's read frontier and extends past everything
+// buffered: only the genuinely new tail may be accepted.
+func TestOfferStraddlesConsumedFrontier(t *testing.T) {
+	b := NewReceiveBuffer(1 << 16)
+	if acc, _ := b.Offer(0, 1000); acc != 1000 {
+		t.Fatalf("initial offer accepted %d, want 1000", acc)
+	}
+	if got := b.Read(600); got != 600 {
+		t.Fatalf("read %d, want 600", got)
+	}
+	// Retransmission [400,1400): [400,600) is consumed, [600,1000) is
+	// buffered, [1000,1400) is new.
+	acc, overflow := b.Offer(400, 1000)
+	if overflow {
+		t.Fatal("overlapping retransmission reported overflow")
+	}
+	if acc != 400 {
+		t.Errorf("accepted %d bytes, want 400 (only the new tail)", acc)
+	}
+	if got := b.Readable(); got != 800 {
+		t.Errorf("readable %d, want 800 ([600,1400) contiguous)", got)
+	}
+	if ne := b.NextExpected(); ne != 1400 {
+		t.Errorf("NextExpected %d, want 1400", ne)
+	}
+}
+
+// TestOfferOverlapsBufferedBlock retransmits across the front edge of an
+// out-of-order block: only the hole bytes count, and the stream stays
+// blocked until the rest of the hole fills.
+func TestOfferOverlapsBufferedBlock(t *testing.T) {
+	b := NewReceiveBuffer(1 << 16)
+	b.Offer(0, 1000)    // in-order prefix
+	b.Offer(2000, 1000) // out-of-order block, hole at [1000,2000)
+	if got := b.BlockedBytes(); got != 1000 {
+		t.Fatalf("blocked %d, want 1000", got)
+	}
+	acc, _ := b.Offer(1500, 1000) // [1500,2500): half hole, half duplicate
+	if acc != 500 {
+		t.Errorf("accepted %d, want 500 (the [1500,2000) hole bytes)", acc)
+	}
+	if ne := b.NextExpected(); ne != 1000 {
+		t.Errorf("NextExpected %d, want 1000 (hole [1000,1500) remains)", ne)
+	}
+	if got := b.BlockedBytes(); got != 1500 {
+		t.Errorf("blocked %d, want 1500 ([1500,3000))", got)
+	}
+	// Fill the remaining hole with another overlapping retransmission.
+	if acc, _ := b.Offer(900, 700); acc != 500 {
+		t.Errorf("hole fill accepted %d, want 500", acc)
+	}
+	if ne := b.NextExpected(); ne != 3000 {
+		t.Errorf("NextExpected %d, want 3000 after hole fill", ne)
+	}
+	if got := b.BlockedBytes(); got != 0 {
+		t.Errorf("blocked %d, want 0", got)
+	}
+}
+
+// TestOfferEntirelyConsumed replays data the application has fully read:
+// zero acceptance, no overflow, and delivery accounting untouched.
+func TestOfferEntirelyConsumed(t *testing.T) {
+	b := NewReceiveBuffer(1 << 12)
+	b.Offer(0, 2048)
+	b.Read(2048)
+	for _, tc := range []struct{ seq, n uint64 }{
+		{0, 2048},    // full replay
+		{1024, 1024}, // tail replay ending exactly at the frontier
+		{2047, 1},    // final byte
+	} {
+		acc, overflow := b.Offer(tc.seq, int(tc.n))
+		if acc != 0 || overflow {
+			t.Errorf("Offer(%d,%d) = (%d,%v), want (0,false)", tc.seq, tc.n, acc, overflow)
+		}
+	}
+	if d := b.Delivered(); d != 2048 {
+		t.Errorf("delivered %d, want 2048", d)
+	}
+	if w := b.Window(); w != 1<<12 {
+		t.Errorf("window %d after full drain, want %d", w, 1<<12)
+	}
+}
+
+// TestOfferSpansMultipleIslands lands one retransmitted range across two
+// buffered islands and the gaps around them: every gap byte is accepted
+// exactly once.
+func TestOfferSpansMultipleIslands(t *testing.T) {
+	b := NewReceiveBuffer(1 << 16)
+	b.Offer(100, 100) // [100,200)
+	b.Offer(300, 100) // [300,400)
+	acc, _ := b.Offer(50, 400)
+	// [50,450) minus the 200 already-buffered bytes = 200 new.
+	if acc != 200 {
+		t.Errorf("accepted %d, want 200", acc)
+	}
+	if ne := b.NextExpected(); ne != 0 {
+		t.Errorf("NextExpected %d, want 0 ([0,50) still missing)", ne)
+	}
+	if acc, _ := b.Offer(0, 50); acc != 50 {
+		t.Error("prefix fill rejected")
+	}
+	if ne := b.NextExpected(); ne != 450 {
+		t.Errorf("NextExpected %d, want 450", ne)
+	}
+	if got := b.Readable(); got != 450 {
+		t.Errorf("readable %d, want 450", got)
+	}
+}
+
+// TestOverlapBeyondCapacityRefused checks that a retransmission whose new
+// tail would exceed the advertised buffer is refused outright even though
+// its head overlaps valid delivered data — partial acceptance would ack
+// bytes the receiver cannot hold.
+func TestOverlapBeyondCapacityRefused(t *testing.T) {
+	b := NewReceiveBuffer(1000)
+	b.Offer(0, 500)
+	b.Read(200) // frontier at 200, capacity covers [200,1200)
+	acc, overflow := b.Offer(400, 900)
+	if !overflow || acc != 0 {
+		t.Errorf("Offer past capacity = (%d,%v), want (0,true)", acc, overflow)
+	}
+	// The same range trimmed to capacity is fine.
+	if acc, overflow := b.Offer(400, 800); overflow || acc != 700 {
+		t.Errorf("Offer at capacity edge = (%d,%v), want (700,false)", acc, overflow)
+	}
+}
+
+// TestOverlapWindowAccounting drives a consume/overlap/refill cycle and
+// checks the advertised window tracks exactly the buffered byte count.
+func TestOverlapWindowAccounting(t *testing.T) {
+	const capacity = 4096
+	b := NewReceiveBuffer(capacity)
+	b.Offer(0, 1024)
+	b.Offer(2048, 1024) // hole at [1024,2048)
+	if w := b.Window(); w != capacity-2048 {
+		t.Fatalf("window %d, want %d", w, capacity-2048)
+	}
+	b.Read(512)
+	// Retransmission covering consumed + buffered + the whole hole.
+	if acc, _ := b.Offer(0, 3072); acc != 1024 {
+		t.Fatalf("overlap refill accepted %d, want 1024 (the hole)", acc)
+	}
+	if w := b.Window(); w != capacity-2560 {
+		t.Errorf("window %d, want %d (3072 buffered - 512 consumed)", w, capacity-2560)
+	}
+	// Drain and confirm the ledger balances.
+	b.Read(1 << 20)
+	if d := b.Delivered(); d != 3072 {
+		t.Errorf("delivered %d, want 3072", d)
+	}
+	if w := b.Window(); w != capacity {
+		t.Errorf("window %d after drain, want %d", w, capacity)
+	}
+}
+
+// TestOverlapThroughFIN replays overlapping tail ranges around the FIN
+// offset: completion must trigger exactly when the stream through FIN is
+// consumed, replays after completion stay inert.
+func TestOverlapThroughFIN(t *testing.T) {
+	b := NewReceiveBuffer(1 << 12)
+	b.Offer(0, 900)
+	b.OnFIN(1000)
+	if b.Complete() {
+		t.Fatal("complete before final bytes arrived")
+	}
+	b.Offer(800, 200) // [800,1000): overlaps [800,900), fills [900,1000)
+	b.Read(1 << 12)
+	if !b.Complete() {
+		t.Fatal("not complete after consuming through FIN")
+	}
+	if acc, overflow := b.Offer(900, 100); acc != 0 || overflow {
+		t.Errorf("post-completion replay = (%d,%v), want (0,false)", acc, overflow)
+	}
+	if d := b.Delivered(); d != 1000 {
+		t.Errorf("delivered %d, want 1000", d)
+	}
+}

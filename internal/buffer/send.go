@@ -26,6 +26,15 @@ type Segment struct {
 	PktSeq uint64 // packet number of the most recent transmission
 	FIN    bool   // segment carries the end-of-stream marker
 
+	// Stream-frame identity (stream-multiplexed connections). Seq/Len still
+	// describe the connection-level footprint — for a StreamFIN segment Len
+	// includes the one phantom byte that carries the stream FIN through the
+	// retransmission machinery.
+	HasStream bool
+	StreamID  uint32
+	StreamOff uint64
+	StreamFIN bool
+
 	SentAt      sim.Time // departure time of the most recent transmission
 	Retransmits int      // how many times this byte range was re-sent
 	LossMarked  bool     // a loss report for the current PktSeq is pending service
@@ -76,6 +85,12 @@ type SendBuffer struct {
 	// counts the rest and compaction runs only when stale entries dominate.
 	marked     []*Segment
 	markedLive int
+
+	// OnRelease, when set, observes every segment release (each segment is
+	// released exactly once, whichever acknowledgment path got there first).
+	// The stream layer uses it to credit acknowledged frame bytes back to
+	// the owning stream.
+	OnRelease func(*Segment)
 }
 
 // NewSendBuffer returns an empty send buffer.
@@ -202,6 +217,9 @@ func (b *SendBuffer) release(seg *Segment) {
 	if seg.LossMarked {
 		seg.LossMarked = false
 		b.markedLive--
+	}
+	if b.OnRelease != nil {
+		b.OnRelease(seg)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/transport"
 )
 
@@ -52,6 +53,9 @@ type Conn struct {
 	// Embryo SYNACK retransmission schedule (receiver side only).
 	hsRetries int
 	nextHS    time.Time
+
+	// kickQueued dedups pending stream kicks; guarded by sh.kickMu.
+	kickQueued bool
 
 	estOnce   sync.Once
 	estCh     chan struct{}
@@ -101,6 +105,16 @@ func (c *Conn) output(p *packet.Packet) {
 func (c *Conn) finish(err error) {
 	c.doneOnce.Do(func() {
 		c.err = err
+		if c.snd != nil {
+			if m := c.snd.Streams(); m != nil {
+				m.Close(err)
+			}
+		}
+		if c.rcv != nil {
+			if m := c.rcv.Streams(); m != nil {
+				m.Close(err)
+			}
+		}
 		close(c.doneCh)
 		if c.ownsEndpoint {
 			// Close must not run on the shard goroutine (it waits for it).
@@ -129,6 +143,43 @@ func (c *Conn) Sender() *transport.Sender { return c.snd }
 // Receiver returns the receiving half (nil on dialed connections). Safe
 // to read concurrently only after Wait/Done reports completion.
 func (c *Conn) Receiver() *transport.Receiver { return c.rcv }
+
+// OpenStream opens a new outgoing multiplexed stream with default
+// scheduling options. It returns stream.ErrStreamsDisabled unless the
+// connection was dialed with Config.Transport.Streams set.
+func (c *Conn) OpenStream() (*stream.SendStream, error) {
+	return c.OpenStreamOptions(stream.Options{})
+}
+
+// OpenStreamOptions opens a new outgoing multiplexed stream with explicit
+// scheduling options (priority / weight, honored by the configured
+// scheduler). Safe from any goroutine.
+func (c *Conn) OpenStreamOptions(opts stream.Options) (*stream.SendStream, error) {
+	if c.snd == nil {
+		return nil, stream.ErrStreamsDisabled
+	}
+	m := c.snd.Streams()
+	if m == nil {
+		return nil, stream.ErrStreamsDisabled
+	}
+	return m.Open(opts)
+}
+
+// AcceptStream waits up to timeout for the peer to open a stream and
+// returns its receiving half. A non-positive timeout polls. It returns
+// stream.ErrStreamsDisabled unless the connection was accepted with
+// Config.Transport.Streams set, and stream.ErrTimeout when nothing
+// arrives in time. Safe from any goroutine.
+func (c *Conn) AcceptStream(timeout time.Duration) (*stream.RecvStream, error) {
+	if c.rcv == nil {
+		return nil, stream.ErrStreamsDisabled
+	}
+	m := c.rcv.Streams()
+	if m == nil {
+		return nil, stream.ErrStreamsDisabled
+	}
+	return m.Accept(timeout)
+}
 
 // CompletedAt returns the wall time the receiving half finished its
 // transfer — before the completion linger that keeps the connection

@@ -497,6 +497,11 @@ func (ep *Endpoint) newSenderConn(raddr string, tcfg transport.Config) (*Conn, e
 		return nil, err
 	}
 	c.snd = snd
+	if m := snd.Streams(); m != nil {
+		// Stream writes land on application goroutines; route their
+		// wakeups through the shard instead of the conn's private loop.
+		m.SetKick(func() { c.sh.kick(c) })
+	}
 	return c, nil
 }
 

@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"net"
+	"sync"
 	"time"
 
 	"github.com/tacktp/tack/internal/batchio"
@@ -47,6 +48,15 @@ type shard struct {
 	wr         *batchio.Writer
 	egress     []batchio.Message
 	egressBufs []*[]byte
+
+	// Stream-kick queue: application goroutines (stream Write/Read fired
+	// from inside the mux lock) nudge the shard here. The tiny mutex plus a
+	// non-blocking channel send keep the kick safe to call under any mux
+	// lock: it can never block on the shard, and the shard never takes a
+	// mux lock while holding kickMu.
+	kickMu sync.Mutex
+	kicked []*Conn
+	kickCh chan struct{}
 }
 
 func newShard(ep *Endpoint) *shard {
@@ -58,6 +68,47 @@ func newShard(ep *Endpoint) *shard {
 		wr:         ep.bconn.NewWriter(egressBatchSize),
 		egress:     make([]batchio.Message, 0, egressBatchSize),
 		egressBufs: make([]*[]byte, 0, egressBatchSize),
+		kickCh:     make(chan struct{}, 1),
+	}
+}
+
+// kick enqueues a connection for a stream-layer service pass on the shard
+// goroutine. Callable from any goroutine, including under stream-mux locks:
+// it never blocks and never re-enters connection state.
+func (sh *shard) kick(c *Conn) {
+	sh.kickMu.Lock()
+	if !c.kickQueued {
+		c.kickQueued = true
+		sh.kicked = append(sh.kicked, c)
+	}
+	sh.kickMu.Unlock()
+	select {
+	case sh.kickCh <- struct{}{}:
+	default: // a wakeup is already pending
+	}
+}
+
+// processKicks services queued stream kicks: wake the sender's scheduler
+// (new writable frames) and flush any urgent receive-window advertisement.
+func (sh *shard) processKicks() {
+	sh.kickMu.Lock()
+	ks := sh.kicked
+	sh.kicked = nil
+	for _, c := range ks {
+		c.kickQueued = false
+	}
+	sh.kickMu.Unlock()
+	for _, c := range ks {
+		if sh.conns[c.id] != c {
+			continue // torn down since the kick was queued
+		}
+		c.advance()
+		if c.snd != nil {
+			c.snd.Kick()
+		}
+		if c.rcv != nil {
+			c.rcv.FlushStreamWindows()
+		}
 	}
 }
 
@@ -90,6 +141,10 @@ func (sh *shard) run() {
 					break drain
 				}
 			}
+			sh.flush()
+		case <-sh.kickCh:
+			sh.now = time.Now()
+			sh.processKicks()
 			sh.flush()
 		case <-tick.C:
 			sh.now = time.Now()
@@ -212,6 +267,11 @@ func (sh *shard) acceptSYN(p *packet.Packet, from *net.UDPAddr) {
 	tcfg := sh.ep.cfg.Transport
 	tcfg.ConnID = c.id
 	c.rcv = transport.NewReceiver(c.loop, tcfg, c.output)
+	if m := c.rcv.Streams(); m != nil {
+		// Stream reads drain per-stream windows on application
+		// goroutines; route window-update wakeups through the shard.
+		m.SetKick(func() { c.sh.kick(c) })
+	}
 	sh.conns[c.id] = c
 	sh.ep.connAdded()
 	c.advance()

@@ -1,0 +1,316 @@
+// Package holbench measures the head-of-line-blocking cost of serialized
+// delivery versus stream multiplexing over a lossy TACK connection.
+//
+// The workload fetches N equally sized objects over the paper's hybrid
+// path (client ↔ AP on an in-sim 802.11n medium, AP ↔ server over an
+// emulated WAN with random data-direction loss). The multiplexed arm
+// carries one object per stream; the baseline serializes the same
+// objects back-to-back on a single stream. Everything below the stream
+// layer — congestion control, acknowledgment policy, loss recovery — is
+// identical, so any difference in per-object completion comes from the
+// stream layer itself: with one ordered stream, a retransmission hole
+// parks every later object's bytes in the reassembly buffer (they cannot
+// be delivered, so the single flow-control window cannot be replenished
+// and the whole pipeline stalls); with per-object streams only the hole's
+// own stream stalls while its siblings keep delivering and crediting
+// their windows.
+package holbench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tacktp/tack/internal/phy"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
+	"github.com/tacktp/tack/internal/telemetry"
+	"github.com/tacktp/tack/internal/topo"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// Config parameterizes one run. The zero value of any field selects the
+// default noted on it.
+type Config struct {
+	// Objects is the number of equally sized objects to fetch (default 8).
+	Objects int
+	// ObjectBytes is the size of each object (default 256 KiB).
+	ObjectBytes int
+	// Serialize carries all objects back-to-back on a single stream (the
+	// head-of-line-blocking baseline) instead of one stream per object.
+	Serialize bool
+	// Scheduler selects the stream scheduler for the multiplexed arm
+	// (default round-robin).
+	Scheduler string
+	// StreamWindow is the per-stream receive window (default 64 KiB).
+	StreamWindow int
+	// Loss is the WAN data-direction random loss rate (default 0.02).
+	// Negative selects a lossless run.
+	Loss float64
+	// RateBps is the WAN bottleneck rate (default 100 Mbit/s).
+	RateBps float64
+	// OWD is the WAN one-way propagation delay (default 10 ms).
+	OWD sim.Time
+	// Seed seeds the simulation (default 1).
+	Seed int64
+	// MaxSimTime caps the run (default 60 s simulated).
+	MaxSimTime sim.Time
+	// Metrics optionally collects transport and stream counters.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects == 0 {
+		c.Objects = 8
+	}
+	if c.ObjectBytes == 0 {
+		c.ObjectBytes = 256 << 10
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = stream.SchedulerRoundRobin
+	}
+	if c.StreamWindow == 0 {
+		c.StreamWindow = 64 << 10
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.02
+	} else if c.Loss < 0 {
+		c.Loss = 0
+	}
+	if c.RateBps == 0 {
+		c.RateBps = 100e6
+	}
+	if c.OWD == 0 {
+		c.OWD = 10 * sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 60 * sim.Second
+	}
+	return c
+}
+
+// Result reports one run's per-object completion profile.
+type Result struct {
+	// Completions holds each object's completion time (from flow start),
+	// indexed by object. An object completes when the application has
+	// read its final byte.
+	Completions []sim.Time
+	// P50, P95 and Max are nearest-rank percentiles over Completions.
+	P50, P95, Max sim.Time
+	// GoodputBps is total object bytes over the last completion.
+	GoodputBps float64
+	// Fairness is Jain's index over per-object delivered bytes sampled
+	// when the first object completes (1.0 = perfectly even progress;
+	// 1/N = fully serialized).
+	Fairness float64
+	// Retransmits counts transport-level retransmissions (the run must
+	// actually have been lossy to mean anything).
+	Retransmits int
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted d.
+func percentile(d []sim.Time, p float64) sim.Time {
+	if len(d) == 0 {
+		return 0
+	}
+	idx := int(float64(len(d))*p+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d) {
+		idx = len(d) - 1
+	}
+	return d[idx]
+}
+
+// jain computes Jain's fairness index over xs (1 for all-equal shares).
+func jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Run executes one simulated fetch and reports the completion profile.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+
+	scfg := stream.Default()
+	scfg.Scheduler = cfg.Scheduler
+	scfg.RecvWindow = cfg.StreamWindow
+	scfg.MaxStreams = cfg.Objects + 1
+	// Deep send buffer so the single-goroutine harness can queue every
+	// object up front; the schedulers and flow control do the pacing.
+	scfg.SendBuffer = cfg.Objects*cfg.ObjectBytes + 1<<10
+
+	tcfg := transport.Config{
+		Mode:    transport.ModeTACK,
+		Streams: &scfg,
+		Metrics: cfg.Metrics,
+	}
+	path, _, _, _ := topo.HybridPath(loop,
+		topo.WLANConfig{Standard: phy.Std80211n},
+		topo.WANConfig{
+			RateBps: cfg.RateBps, OWD: cfg.OWD,
+			QueueBytes: 256 << 10, DataLoss: cfg.Loss,
+		})
+	flow, err := topo.NewFlow(loop, tcfg, path)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Queue the workload: one stream per object, or every object
+	// back-to-back on stream 0 for the serialized baseline.
+	mux := flow.Sender.Streams()
+	nStreams := cfg.Objects
+	if cfg.Serialize {
+		nStreams = 1
+	}
+	chunk := make([]byte, cfg.ObjectBytes)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for s := 0; s < nStreams; s++ {
+		ss, err := mux.Open(stream.Options{Priority: s, Weight: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		writes := 1
+		if cfg.Serialize {
+			writes = cfg.Objects
+		}
+		for w := 0; w < writes; w++ {
+			if _, err := ss.Write(chunk); err != nil {
+				return Result{}, fmt.Errorf("queue object: %w", err)
+			}
+		}
+		if err := ss.Close(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Receiver application: poll the stream mux every millisecond, drain
+	// whatever is deliverable (crediting flow-control windows), and stamp
+	// each object's completion.
+	completions := make([]sim.Time, cfg.Objects)
+	objBytes := make([]int64, cfg.Objects)
+	var firstDone sim.Time
+	var fairSample []float64
+	done := 0
+	scratch := make([]byte, 64<<10)
+	// Streams are polled in accept order (a slice, not a map) so the
+	// read/credit sequence — and therefore the whole simulation — is
+	// deterministic for a given seed.
+	var streams []*stream.RecvStream
+	retired := make(map[uint32]bool)
+	var poll *sim.Timer
+	poll = sim.NewTimer(loop, func() {
+		rm := flow.Receiver.Streams()
+		for {
+			rs := rm.TryAccept()
+			if rs == nil {
+				break
+			}
+			streams = append(streams, rs)
+		}
+		for _, rs := range streams {
+			id := rs.ID()
+			if retired[id] {
+				continue
+			}
+			for {
+				n, eof, err := rs.ReadAvailable(scratch)
+				if err != nil {
+					retired[id] = true
+					break
+				}
+				if n > 0 {
+					if cfg.Serialize {
+						// Object k spans bytes [k*S, (k+1)*S) of stream 0.
+						total := objBytes[0]
+						for rem := int64(n); rem > 0; {
+							obj := int(total / int64(cfg.ObjectBytes))
+							left := int64(cfg.ObjectBytes) - total%int64(cfg.ObjectBytes)
+							step := rem
+							if step > left {
+								step = left
+							}
+							total += step
+							rem -= step
+							if total%int64(cfg.ObjectBytes) == 0 && obj < cfg.Objects {
+								completions[obj] = loop.Now()
+								done++
+								if firstDone == 0 {
+									firstDone = loop.Now()
+									fairSample = []float64{float64(total)}
+								}
+							}
+						}
+						objBytes[0] = total
+					} else {
+						obj := int(id)
+						objBytes[obj] += int64(n)
+						if objBytes[obj] == int64(cfg.ObjectBytes) {
+							completions[obj] = loop.Now()
+							done++
+							if firstDone == 0 {
+								firstDone = loop.Now()
+								fairSample = make([]float64, 0, cfg.Objects)
+								for o := 0; o < cfg.Objects; o++ {
+									fairSample = append(fairSample, float64(objBytes[o]))
+								}
+							}
+						}
+					}
+				}
+				if eof {
+					retired[id] = true
+					break
+				}
+				if n == 0 {
+					break
+				}
+			}
+		}
+		if done < cfg.Objects {
+			poll.Reset(loop.Now() + sim.Millisecond)
+		}
+	})
+	poll.Reset(sim.Millisecond)
+
+	flow.Start()
+	for loop.Now() < cfg.MaxSimTime && done < cfg.Objects {
+		next := loop.Now() + 10*sim.Millisecond
+		if next > cfg.MaxSimTime {
+			next = cfg.MaxSimTime
+		}
+		loop.RunUntil(next)
+	}
+	if done < cfg.Objects {
+		return Result{}, fmt.Errorf("holbench: %d/%d objects completed within %v (serialize=%v)",
+			done, cfg.Objects, cfg.MaxSimTime, cfg.Serialize)
+	}
+
+	res := Result{
+		Completions: completions,
+		Retransmits: flow.Sender.Stats.Retransmits,
+		Fairness:    jain(fairSample),
+	}
+	sorted := append([]sim.Time(nil), completions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = percentile(sorted, 0.50)
+	res.P95 = percentile(sorted, 0.95)
+	res.Max = sorted[len(sorted)-1]
+	if res.Max > 0 {
+		res.GoodputBps = float64(cfg.Objects*cfg.ObjectBytes) * 8 / res.Max.Seconds()
+	}
+	return res, nil
+}

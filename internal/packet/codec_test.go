@@ -19,6 +19,12 @@ func codecCases() map[string]*Packet {
 		"data":      {Type: TypeData, ConnID: 2, PktSeq: 9, Seq: 1500, Payload: bytes.Repeat([]byte{7}, 1439), OldestPktSeq: 4},
 		"data+fin":  {Type: TypeData, ConnID: 2, PktSeq: 10, Seq: 2939, Payload: []byte{1}, FIN: true, Retrans: true, IsProbe: true},
 		"data+nil":  {Type: TypeData, ConnID: 2, PktSeq: 11, Seq: 2940},
+		"stream-data": {Type: TypeData, ConnID: 2, PktSeq: 12, Seq: 4096, Payload: bytes.Repeat([]byte{9}, 1400),
+			HasStream: true, StreamID: 7, StreamOff: 1 << 21, OldestPktSeq: 5},
+		"stream-fin": {Type: TypeData, ConnID: 2, PktSeq: 13, Seq: 5496,
+			HasStream: true, StreamID: 8, StreamOff: 0, StreamFIN: true},
+		"stream-retrans": {Type: TypeData, ConnID: 2, PktSeq: 14, Seq: 4096, Payload: []byte{1, 2, 3},
+			HasStream: true, StreamID: 7, StreamOff: 1 << 21, StreamFIN: true, Retrans: true},
 		"tack-bare": {Type: TypeTACK, ConnID: 3, PktSeq: 12},
 		"tack": {Type: TypeTACK, ConnID: 3, PktSeq: 13, Ack: &AckInfo{
 			CumAck: 4096, CumPktSeq: 7, LargestPktSeq: 40, AckSeq: 2, Window: 1 << 20,
@@ -31,6 +37,15 @@ func codecCases() map[string]*Packet {
 			Ack: &AckInfo{UnackedBlocks: []seqspace.Range{{Lo: 2, Hi: 3}}}},
 		"iack-rttsync": {Type: TypeIACK, ConnID: 3, IACK: IACKRTTSync, RTTMinNS: 20e6,
 			Ack: &AckInfo{LossRatePermille: 5}},
+		"tack-windows": {Type: TypeTACK, ConnID: 3, PktSeq: 14, Ack: &AckInfo{
+			CumAck: 8192, CumPktSeq: 9, LargestPktSeq: 44, AckSeq: 3, Window: 1 << 20,
+			AckedBlocks: []seqspace.Range{{Lo: 2, Hi: 6}},
+			StreamWindows: []StreamWindow{
+				{ID: 0, Limit: 1 << 18}, {ID: 3, Limit: 1 << 19}, {ID: InitialWindowID, Limit: 1 << 16},
+			},
+		}},
+		"iack-window": {Type: TypeIACK, ConnID: 3, IACK: IACKWindow,
+			Ack: &AckInfo{Window: 0, StreamWindows: []StreamWindow{{ID: 5, Limit: 1 << 20}}}},
 		"fin":    {Type: TypeFIN, ConnID: 4, Seq: 1 << 30},
 		"finack": {Type: TypeFINACK, ConnID: 4, Ack: &AckInfo{CumAck: 1 << 30}},
 	}
@@ -148,9 +163,25 @@ func packetsEqual(a, b *Packet) bool {
 	if !rangesEqual(aa.AckedBlocks, ba.AckedBlocks) || !rangesEqual(aa.UnackedBlocks, ba.UnackedBlocks) {
 		return false
 	}
+	if !windowsEqual(aa.StreamWindows, ba.StreamWindows) {
+		return false
+	}
 	aa.AckedBlocks, ba.AckedBlocks = nil, nil
 	aa.UnackedBlocks, ba.UnackedBlocks = nil, nil
+	aa.StreamWindows, ba.StreamWindows = nil, nil
 	return reflect.DeepEqual(aa, ba)
+}
+
+func windowsEqual(a, b []StreamWindow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func rangesEqual(a, b []seqspace.Range) bool {
@@ -165,20 +196,22 @@ func rangesEqual(a, b []seqspace.Range) bool {
 	return true
 }
 
-// benchPackets are the two hot-path shapes: a full-size data packet and a
-// rich TACK.
-func benchPackets() (data, tack *Packet) {
-	return codecCases()["data"], codecCases()["tack"]
+// benchPackets are the hot-path shapes: a full-size data packet, a rich
+// TACK, a full-size stream frame, and a TACK carrying stream-window
+// advertisements.
+func benchPackets() (data, tack, stream, tackWindows *Packet) {
+	cases := codecCases()
+	return cases["data"], cases["tack"], cases["stream-data"], cases["tack-windows"]
 }
 
 // BenchmarkMarshal measures AppendMarshal into a reused buffer — the
 // endpoint egress path. Must report 0 allocs/op.
 func BenchmarkMarshal(b *testing.B) {
-	data, tack := benchPackets()
+	data, tack, stream, tackWindows := benchPackets()
 	for _, bc := range []struct {
 		name string
 		p    *Packet
-	}{{"data", data}, {"tack", tack}} {
+	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}} {
 		b.Run(bc.name, func(b *testing.B) {
 			buf := make([]byte, 0, bc.p.EncodedLen())
 			b.SetBytes(int64(bc.p.EncodedLen()))
@@ -195,11 +228,11 @@ func BenchmarkMarshal(b *testing.B) {
 // BenchmarkUnmarshal measures DecodeInto into a reused packet — the
 // endpoint ingress path. Must report 0 allocs/op once storage is warm.
 func BenchmarkUnmarshal(b *testing.B) {
-	data, tack := benchPackets()
+	data, tack, stream, tackWindows := benchPackets()
 	for _, bc := range []struct {
 		name string
 		p    *Packet
-	}{{"data", data}, {"tack", tack}} {
+	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}} {
 		b.Run(bc.name, func(b *testing.B) {
 			wire := bc.p.Marshal()
 			var p Packet

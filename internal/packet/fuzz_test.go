@@ -16,6 +16,12 @@ func FuzzUnmarshal(f *testing.F) {
 		{Type: TypeSYN, ConnID: 1, SentAt: 5},
 		{Type: TypeSYNACK, ConnID: 1, IACK: IACKHandshake, Ack: &AckInfo{Window: 1 << 20}},
 		{Type: TypeData, ConnID: 2, PktSeq: 9, Seq: 1500, Payload: bytes.Repeat([]byte{7}, 64), FIN: true},
+		{Type: TypeData, ConnID: 2, PktSeq: 10, Seq: 1564, Payload: bytes.Repeat([]byte{8}, 32),
+			HasStream: true, StreamID: 3, StreamOff: 4096, StreamFIN: true},
+		{Type: TypeTACK, ConnID: 3, Ack: &AckInfo{
+			CumAck:        1024,
+			StreamWindows: []StreamWindow{{ID: 1, Limit: 1 << 16}, {ID: InitialWindowID, Limit: 1 << 15}},
+		}},
 		{Type: TypeTACK, ConnID: 3, Ack: &AckInfo{
 			CumAck:        4096,
 			AckedBlocks:   []seqspace.Range{{Lo: 1, Hi: 5}},
@@ -80,6 +86,44 @@ func FuzzCodecDifferential(f *testing.F) {
 		}
 		if !bytes.Equal(legacy.Marshal(), reused.AppendMarshal(nil)) {
 			t.Fatalf("encode divergence for %+v", legacy)
+		}
+	})
+}
+
+// FuzzStreamFrame fuzzes the STREAM-frame corner of the codec with
+// structured inputs: arbitrary stream ID / offset / flag / payload
+// combinations must round-trip exactly (including the zero-length FIN
+// frame), EncodedLen must predict the marshalled size, and Sane must
+// accept every honestly-constructed frame.
+func FuzzStreamFrame(f *testing.F) {
+	f.Add(uint32(0), uint64(0), []byte{}, true, false)
+	f.Add(uint32(7), uint64(1<<21), bytes.Repeat([]byte{9}, 1400), false, false)
+	f.Add(InitialWindowID, uint64(1)<<62, []byte{1}, true, true)
+	f.Fuzz(func(t *testing.T, sid uint32, off uint64, payload []byte, fin bool, retrans bool) {
+		if off+uint64(len(payload)) < off {
+			return // wrapping ranges are an encoder-contract violation
+		}
+		p := &Packet{
+			Type: TypeData, ConnID: 1, PktSeq: 42, Seq: 9000,
+			Payload: payload, HasStream: true, StreamID: sid, StreamOff: off,
+			StreamFIN: fin, Retrans: retrans,
+		}
+		wire := p.Marshal()
+		if len(wire) != p.EncodedLen() {
+			t.Fatalf("EncodedLen %d != marshalled %d", p.EncodedLen(), len(wire))
+		}
+		q, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("decode of honest stream frame failed: %v", err)
+		}
+		if !q.HasStream || q.StreamID != sid || q.StreamOff != off || q.StreamFIN != fin {
+			t.Fatalf("stream fields diverged: %+v vs %+v", p, q)
+		}
+		if !bytes.Equal(q.Payload, payload) {
+			t.Fatalf("payload diverged (%d vs %d bytes)", len(q.Payload), len(payload))
+		}
+		if err := q.Sane(); err != nil {
+			t.Fatalf("Sane rejected honest stream frame: %v", err)
 		}
 	})
 }

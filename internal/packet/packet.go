@@ -139,7 +139,28 @@ type AckInfo struct {
 	// UnackedBlocks lists PKT.SEQ gaps believed lost (oldest first priority
 	// when truncated).
 	UnackedBlocks []seqspace.Range
+	// StreamWindows carries per-stream flow-control advertisements for the
+	// stream multiplexing layer, sorted by ascending stream ID. Each entry
+	// raises the absolute byte limit the peer may send on that stream. The
+	// sentinel ID InitialWindowID advertises the initial window granted to
+	// streams the receiver has not seen yet (sent on the SYNACK).
+	StreamWindows []StreamWindow
 }
+
+// StreamWindow is one per-stream flow-control advertisement inside an
+// AckInfo: the sender of the referenced stream may transmit stream bytes
+// with offsets strictly below Limit.
+type StreamWindow struct {
+	// ID is the stream identifier (or InitialWindowID for the default grant).
+	ID uint32
+	// Limit is the absolute per-stream byte offset the peer may send up to.
+	Limit uint64
+}
+
+// InitialWindowID is the pseudo-stream ID whose StreamWindow entry
+// advertises the initial flow-control window granted to every
+// not-yet-advertised stream.
+const InitialWindowID = ^uint32(0)
 
 // Packet is one transport PDU.
 type Packet struct {
@@ -154,6 +175,16 @@ type Packet struct {
 	Payload []byte
 	Retrans bool // retransmission flag (diagnostics only)
 	FIN     bool // last segment of the stream
+
+	// Stream-multiplexing fields (TypeData with HasStream set): the payload
+	// is a STREAM frame carrying bytes [StreamOff, StreamOff+len(Payload))
+	// of stream StreamID. The connection-level Seq space still covers the
+	// bytes (flow ordering, CumAck, loss accounting are unchanged); the
+	// stream fields only direct where the payload lands at the receiver.
+	HasStream bool
+	StreamID  uint32 // stream identifier
+	StreamOff uint64 // byte offset of Payload within the stream
+	StreamFIN bool   // last frame of stream StreamID
 	// OldestPktSeq is the sender's oldest outstanding packet number: every
 	// PKT.SEQ below it has either been acknowledged or superseded by a
 	// retransmission, so the receiver may discard its loss-tracking state
@@ -186,7 +217,8 @@ func (p *Packet) Reset() {
 	}
 	if spare != nil {
 		acked, unacked := spare.AckedBlocks[:0], spare.UnackedBlocks[:0]
-		*spare = AckInfo{AckedBlocks: acked, UnackedBlocks: unacked}
+		windows := spare.StreamWindows[:0]
+		*spare = AckInfo{AckedBlocks: acked, UnackedBlocks: unacked, StreamWindows: windows}
 	}
 	*p = Packet{Payload: payload, spareAck: spare}
 }
@@ -197,8 +229,17 @@ const overheadEthIPUDP = 18 + 20 + 8
 
 const commonHeaderLen = 1 + 1 + 4 + 8 + 8 // version, type, connid, pktseq, sentat
 
-// ackFixedLen is the encoded size of AckInfo minus variable blocks.
-const ackFixedLen = 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 2 + 1 + 1
+// ackFixedLen is the encoded size of AckInfo minus variable blocks (the
+// trailing three bytes count acked blocks, unacked blocks, and stream
+// windows).
+const ackFixedLen = 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 2 + 1 + 1 + 1
+
+// streamHeaderLen is the extra DATA-body length when HasStream is set
+// (stream ID + stream offset).
+const streamHeaderLen = 4 + 8
+
+// streamWindowLen is the encoded size of one StreamWindow entry.
+const streamWindowLen = 4 + 8
 
 // EncodedLen returns the body+header length of the transport PDU in bytes
 // (excluding Ethernet/IP/UDP framing).
@@ -207,10 +248,14 @@ func (p *Packet) EncodedLen() int {
 	switch p.Type {
 	case TypeData, TypeSYN:
 		n += 8 + 8 + 2 + 1 + len(p.Payload) // seq, oldest, paylen, flags
+		if p.HasStream {
+			n += streamHeaderLen
+		}
 	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
 		n += 1 + 8 + 8 + 1 // iack kind, rttmin, oldest, has-ack marker
 		if p.Ack != nil {
-			n += ackFixedLen + 16*(len(p.Ack.AckedBlocks)+len(p.Ack.UnackedBlocks))
+			n += ackFixedLen + 16*(len(p.Ack.AckedBlocks)+len(p.Ack.UnackedBlocks)) +
+				streamWindowLen*len(p.Ack.StreamWindows)
 		}
 	case TypeFIN:
 		n += 8 // final seq
@@ -254,6 +299,10 @@ func (p *Packet) AppendMarshal(buf []byte) []byte {
 		buf = binary.BigEndian.AppendUint64(buf, p.OldestPktSeq)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
 		buf = append(buf, p.flags())
+		if p.HasStream {
+			buf = binary.BigEndian.AppendUint32(buf, p.StreamID)
+			buf = binary.BigEndian.AppendUint64(buf, p.StreamOff)
+		}
 		buf = append(buf, p.Payload...)
 	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
 		buf = append(buf, byte(p.IACK))
@@ -282,6 +331,12 @@ func (p *Packet) flags() byte {
 	if p.IsProbe {
 		f |= 4
 	}
+	if p.HasStream {
+		f |= 8
+	}
+	if p.StreamFIN {
+		f |= 16
+	}
 	return f
 }
 
@@ -297,7 +352,7 @@ func (a *AckInfo) marshal(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, a.DeliveryRate)
 	buf = binary.BigEndian.AppendUint64(buf, a.ReportedThrough)
 	buf = binary.BigEndian.AppendUint16(buf, a.LossRatePermille)
-	buf = append(buf, byte(len(a.AckedBlocks)), byte(len(a.UnackedBlocks)))
+	buf = append(buf, byte(len(a.AckedBlocks)), byte(len(a.UnackedBlocks)), byte(len(a.StreamWindows)))
 	for _, r := range a.AckedBlocks {
 		buf = binary.BigEndian.AppendUint64(buf, r.Lo)
 		buf = binary.BigEndian.AppendUint64(buf, r.Hi)
@@ -305,6 +360,10 @@ func (a *AckInfo) marshal(buf []byte) []byte {
 	for _, r := range a.UnackedBlocks {
 		buf = binary.BigEndian.AppendUint64(buf, r.Lo)
 		buf = binary.BigEndian.AppendUint64(buf, r.Hi)
+	}
+	for _, w := range a.StreamWindows {
+		buf = binary.BigEndian.AppendUint32(buf, w.ID)
+		buf = binary.BigEndian.AppendUint64(buf, w.Limit)
 	}
 	return buf
 }
@@ -348,7 +407,18 @@ func DecodeInto(p *Packet, buf []byte) error {
 		p.Retrans = f&1 != 0
 		p.FIN = f&2 != 0
 		p.IsProbe = f&4 != 0
+		p.HasStream = f&8 != 0
+		p.StreamFIN = f&16 != 0
 		body = body[19:]
+		if p.HasStream {
+			if len(body) < streamHeaderLen {
+				p.Reset()
+				return errTruncated
+			}
+			p.StreamID = binary.BigEndian.Uint32(body)
+			p.StreamOff = binary.BigEndian.Uint64(body[4:])
+			body = body[streamHeaderLen:]
+		}
 		if len(body) < plen {
 			p.Reset()
 			return errTruncated
@@ -407,9 +477,9 @@ func (a *AckInfo) decodeInto(body []byte) error {
 	a.DeliveryRate = binary.BigEndian.Uint64(body[64:])
 	a.ReportedThrough = binary.BigEndian.Uint64(body[72:])
 	a.LossRatePermille = binary.BigEndian.Uint16(body[80:])
-	nAcked, nUnacked := int(body[82]), int(body[83])
+	nAcked, nUnacked, nWindows := int(body[82]), int(body[83]), int(body[84])
 	body = body[ackFixedLen:]
-	if len(body) < 16*(nAcked+nUnacked) {
+	if len(body) < 16*(nAcked+nUnacked)+streamWindowLen*nWindows {
 		return errTruncated
 	}
 	for i := 0; i < nAcked; i++ {
@@ -425,6 +495,13 @@ func (a *AckInfo) decodeInto(body []byte) error {
 			Hi: binary.BigEndian.Uint64(body[8:]),
 		})
 		body = body[16:]
+	}
+	for i := 0; i < nWindows; i++ {
+		a.StreamWindows = append(a.StreamWindows, StreamWindow{
+			ID:    binary.BigEndian.Uint32(body),
+			Limit: binary.BigEndian.Uint64(body[4:]),
+		})
+		body = body[streamWindowLen:]
 	}
 	return nil
 }
@@ -467,6 +544,12 @@ func (p *Packet) Sane() error {
 	case TypeData, TypeSYN:
 		if p.Seq+uint64(len(p.Payload)) < p.Seq {
 			return fmt.Errorf("%w: byte range wraps uint64", errInsane)
+		}
+		if p.HasStream && p.StreamOff+uint64(len(p.Payload)) < p.StreamOff {
+			return fmt.Errorf("%w: stream byte range wraps uint64", errInsane)
+		}
+		if p.StreamFIN && !p.HasStream {
+			return fmt.Errorf("%w: StreamFIN without stream frame", errInsane)
 		}
 		// The sender's oldest outstanding packet can never exceed the
 		// packet number it just minted.
@@ -515,6 +598,14 @@ func (a *AckInfo) sane() error {
 				return fmt.Errorf("%w: block %v beyond LargestPktSeq %d", errInsane, r, a.LargestPktSeq)
 			}
 			prev = r.Hi
+		}
+	}
+	// Honest encoders emit stream windows sorted by ascending stream ID
+	// (the InitialWindowID sentinel, being the maximum, sorts last), with
+	// no duplicates.
+	for i, w := range a.StreamWindows {
+		if i > 0 && w.ID <= a.StreamWindows[i-1].ID {
+			return fmt.Errorf("%w: stream windows out of order at id %d", errInsane, w.ID)
 		}
 	}
 	return nil

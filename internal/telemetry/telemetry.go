@@ -91,6 +91,22 @@ const (
 	// Flow=ConnID, PktSeq=arriving packet number, Len=datagram bytes.
 	KindMigrationRejected
 
+	// KindStreamOpened records a stream coming into existence at either
+	// end of the multiplexing layer: Flow=ConnID, Seq=stream ID,
+	// Trigger=0 for a locally opened stream, 1 for one created by a
+	// remote frame (accept side).
+	KindStreamOpened
+	// KindStreamClosed records a stream finishing cleanly (FIN sent and
+	// acknowledged at the sender; FIN consumed at the receiver):
+	// Flow=ConnID, Seq=stream ID, Len=total stream bytes.
+	KindStreamClosed
+	// KindStreamWindow records a per-stream flow-control advertisement
+	// leaving the receiver: Flow=ConnID, Seq=stream ID, Aux=advertised
+	// absolute byte limit, Trigger=TrigWindow when the advert rode a
+	// window-update IACK (urgent release), TrigNone when it piggybacked
+	// on a regular acknowledgment.
+	KindStreamWindow
+
 	numKinds
 )
 
@@ -111,6 +127,10 @@ var kindNames = [numKinds]string{
 	KindMACDrop:      "mac_drop",
 
 	KindMigrationRejected: "migration_rejected",
+
+	KindStreamOpened: "stream_opened",
+	KindStreamClosed: "stream_closed",
+	KindStreamWindow: "stream_window",
 }
 
 // String returns the event name used on the wire (JSONL "ev" field).
@@ -477,4 +497,42 @@ func (t *Tracer) MigrationRejected(now sim.Time, flow uint32, pktSeq uint64, byt
 	}
 	t.Emit(Event{Sim: now, Kind: KindMigrationRejected, Flow: flow,
 		PktSeq: pktSeq, Len: int64(bytes)})
+}
+
+// StreamOpened records a stream coming into existence (remote=true when a
+// peer frame created it).
+func (t *Tracer) StreamOpened(now sim.Time, flow uint32, streamID uint32, remote bool) {
+	if t == nil {
+		return
+	}
+	var trig uint8
+	if remote {
+		trig = 1
+	}
+	t.Emit(Event{Sim: now, Kind: KindStreamOpened, Flow: flow, Trigger: trig,
+		Seq: uint64(streamID)})
+}
+
+// StreamClosed records a stream completing cleanly with its total byte
+// count.
+func (t *Tracer) StreamClosed(now sim.Time, flow uint32, streamID uint32, bytes uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindStreamClosed, Flow: flow,
+		Seq: uint64(streamID), Len: int64(bytes)})
+}
+
+// StreamWindow records a per-stream flow-control advertisement (urgent=true
+// when it rode a window-update IACK).
+func (t *Tracer) StreamWindow(now sim.Time, flow uint32, streamID uint32, limit uint64, urgent bool) {
+	if t == nil {
+		return
+	}
+	trig := TrigNone
+	if urgent {
+		trig = TrigWindow
+	}
+	t.Emit(Event{Sim: now, Kind: KindStreamWindow, Flow: flow, Trigger: trig,
+		Seq: uint64(streamID), Aux: limit})
 }

@@ -10,8 +10,14 @@ import (
 	"github.com/tacktp/tack/internal/seqspace"
 	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/stats"
+	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
 )
+
+// maxStreamAdverts bounds the per-stream window advertisements attached to
+// one acknowledgment; dirtier streams stay pending for the next ack. Kept
+// small so adverts never crowd the TACK's selective-ack block budget.
+const maxStreamAdverts = 8
 
 // Receiver is the receiving half of a connection.
 type Receiver struct {
@@ -19,7 +25,13 @@ type Receiver struct {
 	cfg  Config
 	out  Output
 
-	buf    *buffer.ReceiveBuffer
+	buf *buffer.ReceiveBuffer
+	// mux demultiplexes STREAM frames into per-stream reassembly buffers
+	// (nil on single-bytestream connections). The connection-level buf
+	// keeps running in accounting-only mode underneath: it still derives
+	// CumAck and loss state from connection sequence numbers, while the
+	// payload bytes live in the mux's per-stream rings.
+	mux    *stream.RecvMux
 	policy ackpolicy.Policy
 	loss   *core.LossTracker
 	budget *core.BlockBudget
@@ -58,6 +70,7 @@ type Receiver struct {
 
 	ackTimer    *sim.Timer
 	settleTimer *sim.Timer
+	streamTimer *sim.Timer // urgent stream-window IACK (default mux kick)
 
 	// Stats and instrumentation.
 	Stats ReceiverStats
@@ -116,7 +129,41 @@ func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
 	}
 	r.ackTimer = sim.NewTimer(loop, r.onAckTimer)
 	r.settleTimer = sim.NewTimer(loop, r.onSettleTimer)
+	if cfg.Streams != nil {
+		r.mux = stream.NewRecvMux(*cfg.Streams, stream.RecvDeps{
+			ConnID:  cfg.ConnID,
+			Tracer:  cfg.Tracer,
+			Metrics: cfg.Metrics,
+		})
+		r.streamTimer = sim.NewTimer(loop, r.FlushStreamWindows)
+		// Default kick: route the urgent window update through the loop
+		// (the kick fires under the mux lock, which FlushStreamWindows
+		// re-acquires). Endpoint owners install a cross-goroutine kick via
+		// Streams().SetKick.
+		r.mux.SetKick(r.KickStreams)
+	}
 	return r
+}
+
+// Streams returns the stream demultiplexer, or nil when the connection is
+// a single bytestream.
+func (r *Receiver) Streams() *stream.RecvMux { return r.mux }
+
+// KickStreams schedules an urgent stream-window IACK check without
+// re-entering the stream mux: safe to call from the mux kick callback,
+// which runs with the mux lock held. Loop-goroutine only.
+func (r *Receiver) KickStreams() { r.streamTimer.Reset(r.loop.Now()) }
+
+// FlushStreamWindows emits a window-update IACK when an urgent per-stream
+// advertisement is pending (the application released at least half a
+// stream window — the paper's §4.4 immediate-feedback case). It is the
+// stream-layer analogue of maybeWindowIACK and a no-op otherwise.
+func (r *Receiver) FlushStreamWindows() {
+	if r.mux == nil || !r.mux.UrgentAdvert() {
+		return
+	}
+	r.Stats.WindowIACKs++
+	r.sendAck(packet.TypeIACK, packet.IACKWindow, telemetry.TrigWindow, nil)
 }
 
 // Policy returns the acknowledgment discipline in force.
@@ -228,16 +275,23 @@ func (r *Receiver) RetransmitSYNACK() bool {
 	return true
 }
 
-// emitSYNACK sends one SYNACK echoing the given SYN departure time.
+// emitSYNACK sends one SYNACK echoing the given SYN departure time. On
+// stream-multiplexed connections it carries the initial per-stream window
+// grant (InitialWindowID sentinel) — the peer can frame nothing before it.
 func (r *Receiver) emitSYNACK(echo sim.Time) {
+	a := &packet.AckInfo{
+		EchoDeparture: echo,
+		Window:        r.buf.Window(),
+		AckSeq:        r.ackSeq,
+	}
+	if r.mux != nil {
+		a.StreamWindows = []packet.StreamWindow{
+			{ID: packet.InitialWindowID, Limit: r.mux.InitialWindow()},
+		}
+	}
 	r.out(&packet.Packet{
 		Type: packet.TypeSYNACK, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq,
-		SentAt: r.loop.Now(),
-		Ack: &packet.AckInfo{
-			EchoDeparture: echo,
-			Window:        r.buf.Window(),
-			AckSeq:        r.ackSeq,
-		},
+		SentAt: r.loop.Now(), Ack: a,
 	})
 	r.nextPktSeq++
 	r.ackSeq++
@@ -286,7 +340,13 @@ func (r *Receiver) onData(p *packet.Packet) {
 	r.mDataPackets.Inc()
 	r.OWD.Add((now - p.SentAt).Seconds())
 
-	accepted, overflow := r.buf.Offer(p.Seq, len(p.Payload))
+	// Connection-sequence-space footprint: a StreamFIN frame occupies one
+	// phantom byte beyond its payload (see internal/stream).
+	wire := len(p.Payload)
+	if p.HasStream && p.StreamFIN {
+		wire++
+	}
+	accepted, overflow := r.buf.Offer(p.Seq, wire)
 	if overflow {
 		r.Stats.Overflows++
 	}
@@ -295,6 +355,12 @@ func (r *Receiver) onData(p *packet.Packet) {
 	}
 	if p.FIN {
 		r.buf.OnFIN(p.Seq + uint64(len(p.Payload)))
+	}
+	if p.HasStream && r.mux != nil && !overflow {
+		// Demultiplex the payload into its stream's reassembly ring. The
+		// mux does its own duplicate/flow-control accounting; connection
+		// sequence state above is untouched by a stream-level refusal.
+		r.mux.OnFrame(now, p.StreamID, p.StreamOff, p.Payload, p.StreamFIN)
 	}
 	r.deliv.OnDeliver(now, accepted)
 	r.timing.OnData(now, p.SentAt)
@@ -445,6 +511,25 @@ func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, trigger uint8,
 		AckSeq: r.ackSeq,
 	}
 	r.ackSeq++
+	if r.mux != nil {
+		// Connection window: the connection-level buffer runs in
+		// accounting-only mode (it auto-drains), so the bytes actually
+		// held live in the per-stream rings — advertise capacity minus
+		// those, never more than the accounting buffer's own window.
+		if held := int64(r.cfg.RecvBuf) - int64(r.mux.Buffered()); held < int64(a.Window) {
+			if held < 0 {
+				held = 0
+			}
+			a.Window = uint64(held)
+		}
+		// Per-stream limits that rose since last advertised, plus the
+		// standing initial grant for streams the peer has yet to open
+		// (repeated every ack so a lost SYNACK cannot wedge the sender).
+		a.StreamWindows = append(
+			r.mux.WindowAdverts(now, maxStreamAdverts),
+			packet.StreamWindow{ID: packet.InitialWindowID, Limit: r.mux.InitialWindow()},
+		)
+	}
 
 	if r.cfg.Mode == ModeTACK {
 		largest, have := r.loss.Largest()

@@ -9,6 +9,7 @@ import (
 	"github.com/tacktp/tack/internal/rtt"
 	"github.com/tacktp/tack/internal/seqspace"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
 )
 
@@ -21,6 +22,12 @@ type Sender struct {
 	ctrl  cc.Controller
 	pacer *pacing.Pacer
 	buf   *buffer.SendBuffer
+
+	// mux is the stream multiplexer (nil on single-bytestream
+	// connections). When set, new data comes from the scheduler as STREAM
+	// frames and retransmissions re-materialize payloads from retained
+	// stream data.
+	mux *stream.SendMux
 
 	// Stream state.
 	nextSeq     uint64 // next byte offset to transmit
@@ -120,8 +127,40 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 	}
 	s.sendTimer = sim.NewTimer(loop, s.trySend)
 	s.rtoTimer = sim.NewTimer(loop, s.onRTO)
+	if cfg.Streams != nil {
+		s.mux = stream.NewSendMux(*cfg.Streams, stream.SendDeps{
+			ConnID:  cfg.ConnID,
+			Tracer:  cfg.Tracer,
+			Metrics: cfg.Metrics,
+		})
+		// Default kick: schedule a send attempt through the loop instead of
+		// calling trySend directly — the kick fires under the mux lock, which
+		// trySend re-acquires. Owners that drive the loop from a dedicated
+		// goroutine (the endpoint) must install their own cross-goroutine
+		// kick via Streams().SetKick.
+		s.mux.SetKick(s.KickStreams)
+		s.buf.OnRelease = func(seg *buffer.Segment) {
+			if !seg.HasStream {
+				return
+			}
+			n := seg.Len
+			if seg.StreamFIN {
+				n-- // the phantom byte is not stream data
+			}
+			s.mux.OnFrameAcked(s.loop.Now(), seg.StreamID, seg.StreamOff, n, seg.StreamFIN)
+		}
+	}
 	return s, nil
 }
+
+// Streams returns the stream multiplexer, or nil when the connection is a
+// single bytestream.
+func (s *Sender) Streams() *stream.SendMux { return s.mux }
+
+// KickStreams schedules an immediate send attempt without re-entering the
+// stream mux: safe to call from the mux kick callback, which runs with the
+// mux lock held. Loop-goroutine only (like every timer operation).
+func (s *Sender) KickStreams() { s.sendTimer.Reset(s.loop.Now()) }
 
 // Start initiates the handshake.
 func (s *Sender) Start() {
@@ -206,6 +245,10 @@ func (s *Sender) inflight() int { return s.buf.Bytes() }
 
 // streamRemaining reports whether un-transmitted stream bytes remain.
 func (s *Sender) streamRemaining() bool {
+	if s.mux != nil {
+		_, ok := s.mux.NextFrameLen(1)
+		return ok
+	}
 	if s.cfg.AppPaced {
 		return int64(s.nextSeq) < s.appAvail
 	}
@@ -281,8 +324,18 @@ func (s *Sender) trySend() {
 }
 
 // nextChunk returns the size of the next new-data segment to send, or 0
-// when no stream bytes are available.
+// when no stream bytes are available. On stream-multiplexed connections it
+// is the connection-sequence-space footprint of the scheduler's next frame
+// (including the FIN phantom byte), so window and pacing gates see the
+// exact cost NextFrame will commit.
 func (s *Sender) nextChunk() int {
+	if s.mux != nil {
+		n, ok := s.mux.NextFrameLen(s.cfg.Payload)
+		if !ok {
+			return 0
+		}
+		return n
+	}
 	if !s.streamRemaining() {
 		return 0
 	}
@@ -313,6 +366,10 @@ func (s *Sender) nextRetransmit(now sim.Time) *buffer.Segment {
 }
 
 func (s *Sender) sendNewSegment(now sim.Time) {
+	if s.mux != nil {
+		s.sendStreamFrame(now)
+		return
+	}
 	n := s.cfg.Payload
 	if s.cfg.TransferBytes > 0 {
 		if rem := s.cfg.TransferBytes - int64(s.nextSeq); int64(n) > rem {
@@ -352,17 +409,75 @@ func (s *Sender) sendNewSegment(now sim.Time) {
 	s.emitData(p, n)
 }
 
+// sendStreamFrame commits the stream scheduler's next frame as a DATA
+// packet. The frame's connection-sequence footprint (payload plus FIN
+// phantom byte) advances nextSeq, so the TACK/IACK machinery below the
+// stream layer is untouched.
+func (s *Sender) sendStreamFrame(now sim.Time) {
+	fr, ok := s.mux.NextFrame(now, s.cfg.Payload)
+	if !ok {
+		return
+	}
+	wire := fr.WireLen()
+	p := &packet.Packet{
+		Type:         packet.TypeData,
+		ConnID:       s.cfg.ConnID,
+		PktSeq:       s.nextPktSeq,
+		SentAt:       now,
+		Seq:          s.nextSeq,
+		Payload:      fr.Data,
+		HasStream:    true,
+		StreamID:     fr.ID,
+		StreamOff:    fr.Off,
+		StreamFIN:    fr.FIN,
+		OldestPktSeq: s.buf.OldestPktSeq(s.nextPktSeq),
+	}
+	if p.OldestPktSeq > s.advertisedOldest {
+		s.advertisedOldest = p.OldestPktSeq
+	}
+	seg := &buffer.Segment{
+		Seq: s.nextSeq, Len: wire, PktSeq: s.nextPktSeq, SentAt: now,
+		HasStream: true, StreamID: fr.ID, StreamOff: fr.Off, StreamFIN: fr.FIN,
+	}
+	s.buf.Insert(seg)
+	s.nextSeq += uint64(wire)
+	s.nextPktSeq++
+	s.emitData(p, wire)
+}
+
 func (s *Sender) retransmit(now sim.Time, seg *buffer.Segment) {
 	s.buf.Retransmitted(seg, s.nextPktSeq, now)
+	var payload []byte
+	if seg.HasStream {
+		n := seg.Len
+		if seg.StreamFIN {
+			n-- // the phantom byte is not stream data
+		}
+		if n > 0 {
+			payload = s.mux.FrameData(seg.StreamID, seg.StreamOff, n)
+			if payload == nil {
+				// Defensive: the stream released this range through another
+				// path. Zero-fill so the connection sequence space still
+				// repairs; the receiver drops it as a duplicate.
+				payload = make([]byte, n)
+			}
+		}
+	} else {
+		payload = s.payload[:seg.Len]
+	}
 	p := &packet.Packet{
 		Type:         packet.TypeData,
 		ConnID:       s.cfg.ConnID,
 		PktSeq:       s.nextPktSeq,
 		SentAt:       now,
 		Seq:          seg.Seq,
-		Payload:      s.payload[:seg.Len],
+		Payload:      payload,
 		Retrans:      true,
 		FIN:          seg.FIN,
+		HasStream:    seg.HasStream,
+		StreamID:     seg.StreamID,
+		StreamOff:    seg.StreamOff,
+		StreamFIN:    seg.StreamFIN,
 		OldestPktSeq: s.buf.OldestPktSeq(s.nextPktSeq),
 	}
 	if p.OldestPktSeq > s.advertisedOldest {
@@ -514,6 +629,11 @@ func (s *Sender) onSynAck(p *packet.Packet) {
 	initialRTT := now - s.synSentAt
 	s.est().Update(now, initialRTT)
 	s.pacer.SetRate(now, s.ctrl.PacingRate())
+	if s.mux != nil && p.Ack != nil {
+		// The SYNACK carries the peer's initial per-stream window grant
+		// (InitialWindowID sentinel); nothing is frameable before it lands.
+		s.mux.OnWindowAdverts(now, p.Ack.StreamWindows)
+	}
 	// Complete the handshake and seed the receiver's RTTmin (TACK interval
 	// α needs it).
 	s.sendRTTSync(packet.IACKHandshake)
@@ -755,6 +875,11 @@ func (s *Sender) onAck(p *packet.Packet) {
 	// --- Flow control. ---
 	s.awnd = a.Window
 	s.awndKnown = true
+	if s.mux != nil && len(a.StreamWindows) > 0 {
+		// Raised per-stream limits may unblock scheduler entries; the
+		// trySend below picks them up.
+		s.mux.OnWindowAdverts(now, a.StreamWindows)
+	}
 
 	s.maybeSyncRTTMin()
 	if s.cfg.Mode == ModeTACK {

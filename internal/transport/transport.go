@@ -32,6 +32,7 @@ import (
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
 )
 
@@ -125,6 +126,14 @@ type Config struct {
 	// HandshakeFailed. Default 8; negative disables retransmission
 	// entirely (a single SYN is sent).
 	MaxSYNRetries int
+	// Streams enables stream multiplexing: the sender transmits STREAM
+	// frames pulled from a stream.SendMux scheduler instead of one flat
+	// bytestream, and the receiver demultiplexes into per-stream reassembly
+	// buffers (see internal/stream). Requires ModeTACK and is mutually
+	// exclusive with TransferBytes, AppPaced, and ManualDrain: stream
+	// lifetimes replace the connection-level termination/drain knobs. Nil
+	// (the default) keeps the single-bytestream behaviour.
+	Streams *stream.Config
 	// ConnID tags packets (useful when multiplexing flows over one path).
 	ConnID uint32
 	// Tracer records structured per-event telemetry for this connection
@@ -195,6 +204,10 @@ func (c Config) withDefaults() Config {
 //     termination authority — the application feed (AppPaced) or the byte
 //     bound — and configuring both leaves completion undefined when the
 //     feed stops short of the bound.
+//   - Streams outside TACK mode, or combined with TransferBytes, AppPaced,
+//     or ManualDrain (stream lifetimes replace those connection-level
+//     knobs), or carrying an invalid stream.Config (zero or negative
+//     windows and stream limits are rejected, not defaulted).
 //
 // NewSender validates implicitly; endpoint constructors validate before
 // binding sockets so misconfiguration surfaces as an error, not a stall.
@@ -230,6 +243,23 @@ func (c Config) Validate() error {
 	}
 	if c.AppPaced && c.TransferBytes > 0 {
 		return fmt.Errorf("transport: AppPaced and TransferBytes=%d both set; a stream has one termination authority", c.TransferBytes)
+	}
+	if c.Streams != nil {
+		if c.Mode != ModeTACK {
+			return fmt.Errorf("transport: stream multiplexing requires TACK mode, got %s", c.Mode)
+		}
+		if c.TransferBytes > 0 {
+			return fmt.Errorf("transport: Streams and TransferBytes=%d both set; stream FINs own termination", c.TransferBytes)
+		}
+		if c.AppPaced {
+			return fmt.Errorf("transport: Streams and AppPaced both set; stream writes pace the source")
+		}
+		if c.ManualDrain {
+			return fmt.Errorf("transport: Streams and ManualDrain both set; stream reads drain per-stream buffers")
+		}
+		if err := c.Streams.Validate(); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
 	}
 	if c.CC != "" {
 		if _, err := cc.New(c.CC, c.CCConfig); err != nil {

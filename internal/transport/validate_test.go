@@ -6,7 +6,10 @@ import (
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
 )
+
+func ptr[T any](v T) *T { return &v }
 
 func TestConfigValidate(t *testing.T) {
 	cases := []struct {
@@ -32,6 +35,29 @@ func TestConfigValidate(t *testing.T) {
 		{"negative rto", Config{MinRTO: -sim.Second}, false},
 		{"min rto above max", Config{MinRTO: 2 * sim.Second, MaxRTO: sim.Second}, false},
 		{"app paced with byte bound", Config{AppPaced: true, TransferBytes: 1 << 20}, false},
+		{"streams default", Config{Mode: ModeTACK, Streams: ptr(stream.Default())}, true},
+		{"streams custom scheduler", Config{Mode: ModeTACK, Streams: &stream.Config{
+			RecvWindow: 64 << 10, MaxStreams: 16, Scheduler: stream.SchedulerWeighted,
+		}}, true},
+		{"streams legacy mode", Config{Mode: ModeLegacy, Streams: ptr(stream.Default())}, false},
+		{"streams with transfer bytes", Config{Mode: ModeTACK, TransferBytes: 1 << 20,
+			Streams: ptr(stream.Default())}, false},
+		{"streams with app pacing", Config{Mode: ModeTACK, AppPaced: true,
+			Streams: ptr(stream.Default())}, false},
+		{"streams with manual drain", Config{Mode: ModeTACK, ManualDrain: true,
+			Streams: ptr(stream.Default())}, false},
+		{"streams zero recv window", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: 0, MaxStreams: 16}}, false},
+		{"streams negative recv window", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: -1, MaxStreams: 16}}, false},
+		{"streams zero max streams", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: 64 << 10, MaxStreams: 0}}, false},
+		{"streams negative max streams", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: 64 << 10, MaxStreams: -4}}, false},
+		{"streams negative send buffer", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: 64 << 10, MaxStreams: 16, SendBuffer: -1}}, false},
+		{"streams unknown scheduler", Config{Mode: ModeTACK,
+			Streams: &stream.Config{RecvWindow: 64 << 10, MaxStreams: 16, Scheduler: "fifo"}}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

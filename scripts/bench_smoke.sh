@@ -3,14 +3,19 @@
 #
 # Runs the wire-codec and endpoint datapath benchmarks with -benchmem,
 # writes the parsed results to BENCH_datapath.json, and fails if any
-# codec benchmark (BenchmarkMarshal*/BenchmarkUnmarshal*) reports a
-# nonzero allocs/op — the zero-allocation codec is a hard invariant, not
-# a trend to watch.
+# codec benchmark (BenchmarkMarshal*/BenchmarkUnmarshal*, including the
+# stream-frame shapes) reports a nonzero allocs/op — the zero-allocation
+# codec is a hard invariant, not a trend to watch.
 #
-# Usage: scripts/bench_smoke.sh [output.json]
+# Also emits BENCH_stream.json: the stream-multiplexing head-of-line
+# benchmark (multi-stream vs serialized per-object completion, goodput,
+# and scheduler fairness) from `tackbench mux -json`.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
+stream_out="${2:-BENCH_stream.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -50,3 +55,15 @@ END { printf "\n  ]\n}\n"; exit bad }
 ' "$raw" > "$out" || { echo "bench smoke FAILED (see $out)" >&2; exit 1; }
 
 echo "bench smoke OK: $out"
+
+# Stream-multiplexing benchmark: deterministic in-sim run, so the JSON is
+# stable for a given toolchain. The p95 improvement over the serialized
+# baseline is the PR's headline number; regressions below 30% fail.
+go run ./cmd/tackbench mux -json > "$stream_out"
+improvement="$(sed -n 's/.*"p95_improvement":\([0-9.eE+-]*\).*/\1/p' "$stream_out")"
+echo "stream bench: p95 improvement $improvement (multi-stream vs serialized)"
+awk -v imp="$improvement" 'BEGIN { exit !(imp + 0 >= 0.30) }' || {
+    echo "stream bench FAILED: p95 improvement $improvement < 0.30 (see $stream_out)" >&2
+    exit 1
+}
+echo "stream bench OK: $stream_out"

@@ -30,6 +30,7 @@ import (
 
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/endpoint"
+	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
@@ -80,6 +81,48 @@ var (
 	ErrIdleTimeout      = endpoint.ErrIdleTimeout
 	ErrDeadline         = endpoint.ErrDeadline
 )
+
+// Stream multiplexing surface. Set Config.Streams to a StreamConfig to
+// multiplex many ordered byte streams over one connection, then use
+// Conn.OpenStream / Conn.AcceptStream.
+type (
+	// StreamConfig parameterizes the stream layer of a connection:
+	// per-stream receive window, stream-count limit, aggregate send
+	// buffer, and scheduler.
+	StreamConfig = stream.Config
+	// StreamOptions are per-stream scheduling knobs (priority, weight)
+	// passed to Conn.OpenStreamOptions.
+	StreamOptions = stream.Options
+	// SendStream is the writable half of one multiplexed stream.
+	SendStream = stream.SendStream
+	// RecvStream is the readable half of one multiplexed stream.
+	RecvStream = stream.RecvStream
+)
+
+// Scheduler names accepted by StreamConfig.Scheduler.
+const (
+	// SchedulerRoundRobin cycles writable streams fairly (default).
+	SchedulerRoundRobin = stream.SchedulerRoundRobin
+	// SchedulerPriority always serves the highest-priority writable stream.
+	SchedulerPriority = stream.SchedulerPriority
+	// SchedulerWeighted shares bandwidth by per-stream weight (DRR).
+	SchedulerWeighted = stream.SchedulerWeighted
+)
+
+// Sentinel errors surfaced by stream operations.
+var (
+	// ErrStreamsDisabled reports OpenStream/AcceptStream on a connection
+	// whose Config.Streams was nil.
+	ErrStreamsDisabled = stream.ErrStreamsDisabled
+	// ErrTooManyStreams reports OpenStream beyond StreamConfig.MaxStreams.
+	ErrTooManyStreams = stream.ErrTooManyStreams
+	// ErrStreamTimeout reports an AcceptStream that timed out.
+	ErrStreamTimeout = stream.ErrTimeout
+)
+
+// DefaultStreamConfig returns the stream layer defaults (round-robin
+// scheduler, 256 KiB windows, 256 streams).
+func DefaultStreamConfig() StreamConfig { return stream.Default() }
 
 // Telemetry surface.
 type (
