@@ -6,12 +6,19 @@
 //
 //	go run ./cmd/doclint ./...
 //
+// With -metrics README.md it additionally cross-checks the telemetry
+// surface: every metric name registered in the source with a string
+// literal (reg.Counter("..."), .Gauge, .Histogram) must appear verbatim
+// in the named document, so the README's metrics table can never fall
+// behind the code.
+//
 // Arguments are directories (or the literal ./... to walk the whole
 // module); _test.go files and testdata directories are skipped. Exit
 // status is 1 when any symbol is missing documentation.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -20,11 +27,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
-	args := os.Args[1:]
+	metricsDoc := flag.String("metrics", "", "document that must mention every registered metric name")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -54,9 +64,84 @@ func main() {
 			failed = true
 		}
 	}
+	if *metricsDoc != "" {
+		for _, problem := range lintMetrics(dirs, *metricsDoc) {
+			fmt.Println(problem)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// lintMetrics collects every metric name registered with a string
+// literal — a call of the form x.Counter("name"), x.Gauge("name"), or
+// x.Histogram("name") in any non-test file under dirs — and reports the
+// ones the documentation file never mentions.
+func lintMetrics(dirs []string, docPath string) []string {
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		return []string{fmt.Sprintf("doclint: -metrics: %v", err)}
+	}
+	text := string(doc)
+	type site struct {
+		pos  token.Position
+		name string
+	}
+	var sites []site
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return []string{fmt.Sprintf("%s: %v", dir, err)}
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "Counter", "Gauge", "Histogram":
+					default:
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil || name == "" {
+						return true
+					}
+					sites = append(sites, site{fset.Position(lit.Pos()), name})
+					return true
+				})
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var problems []string
+	for _, s := range sites {
+		if seen[s.name] {
+			continue
+		}
+		seen[s.name] = true
+		if !strings.Contains(text, s.name) {
+			problems = append(problems, fmt.Sprintf("%s: metric %q is registered but not documented in %s",
+				s.pos, s.name, docPath))
+		}
+	}
+	sort.Strings(problems)
+	return problems
 }
 
 // walkDirs returns every directory under root that contains non-test Go

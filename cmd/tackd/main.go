@@ -51,8 +51,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tackd serve -listen :4500 [-flows 1] [-mode tack|legacy] [-trace out.jsonl] [-json]
-  tackd send  -to host:4500 -bytes 100M [-flows 1] [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json]`)
+  tackd serve -listen :4500 [-flows 1] [-mode tack|legacy] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9090] [-postmortem dir]
+  tackd send  -to host:4500 -bytes 100M [-flows 1] [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9091] [-postmortem dir]`)
 	os.Exit(2)
 }
 
@@ -192,6 +192,8 @@ func serve(args []string) {
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
 	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/pprof/, /debug/tack/conns on this address")
+	postmortem := fs.String("postmortem", "", "directory for anomaly post-mortem flight-recorder dumps")
 	fs.Parse(args)
 
 	sink, err := openTrace(*tracePath)
@@ -199,13 +201,21 @@ func serve(args []string) {
 		fatal(err)
 	}
 	reg := tack.NewMetrics()
+	if tr := sink.tracer(); tr != nil {
+		tr.CountDrops(reg.Counter("telemetry.dropped_events"))
+	}
 	cfg := tack.Config{Mode: parseMode(*mode), Tracer: sink.tracer(), Metrics: reg}
-	ep, err := tack.Listen(*listen, tack.EndpointConfig{Transport: cfg})
+	ep, err := tack.Listen(*listen, tack.EndpointConfig{
+		Transport: cfg, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer ep.Close()
 	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s, flows=%d)\n", ep.LocalAddr(), *mode, *flows)
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "tackd: debug endpoint on http://%s/\n", *debugAddr)
+	}
 
 	var (
 		mu      sync.Mutex
@@ -314,6 +324,8 @@ func send(args []string) {
 	timeout := fs.Duration("timeout", 10*time.Minute, "abort deadline per flow")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
 	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/pprof/, /debug/tack/conns on this address")
+	postmortem := fs.String("postmortem", "", "directory for anomaly post-mortem flight-recorder dumps")
 	fs.Parse(args)
 	if *to == "" {
 		usage()
@@ -333,11 +345,16 @@ func send(args []string) {
 		fatal(err)
 	}
 	reg := tack.NewMetrics()
+	if tr := sink.tracer(); tr != nil {
+		tr.CountDrops(reg.Counter("telemetry.dropped_events"))
+	}
 	cfg := tack.Config{
 		Mode: parseMode(*mode), CC: *ccName, TransferBytes: size, RichTACK: true,
 		Tracer: sink.tracer(), Metrics: reg,
 	}
-	ep, err := tack.Listen(":0", tack.EndpointConfig{Transport: cfg})
+	ep, err := tack.Listen(":0", tack.EndpointConfig{
+		Transport: cfg, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,136 @@
+// Command tackstat is a top-like live view of a running tack endpoint,
+// built on the debug HTTP plane: it polls /debug/tack/conns on a tackd
+// (or any tack.Listen with EndpointConfig.DebugAddr set) and renders a
+// per-connection table of rate, RTT, flight, loss, acknowledgment
+// frequency, and stream occupancy, with rates computed from deltas
+// between polls.
+//
+// Usage:
+//
+//	tackstat -addr 127.0.0.1:9090 [-interval 1s] [-count 0] [-no-clear]
+//
+// -count bounds the number of polls (0 = until interrupted); -count 1
+// -no-clear prints a single table, which is what scripts and CI use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tacktp/tack/internal/endpoint"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "debug endpoint address (host:port)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	count := flag.Int("count", 0, "number of polls before exiting (0 = forever)")
+	noClear := flag.Bool("no-clear", false, "do not clear the screen between polls")
+	flag.Parse()
+
+	url := "http://" + *addr + "/debug/tack/conns"
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	prev := map[uint32]endpoint.ConnState{}
+	prevAt := time.Now()
+	for n := 0; *count == 0 || n < *count; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		states, err := poll(client, url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tackstat:", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		if !*noClear {
+			fmt.Print("\033[2J\033[H")
+		}
+		render(states, prev, now.Sub(prevAt))
+		prevAt = now
+		prev = map[uint32]endpoint.ConnState{}
+		for _, s := range states {
+			prev[s.ConnID] = s
+		}
+	}
+}
+
+func poll(client *http.Client, url string) ([]endpoint.ConnState, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var states []endpoint.ConnState
+	if err := json.NewDecoder(resp.Body).Decode(&states); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return states, nil
+}
+
+// render prints the connection table. Rates come from byte-counter
+// deltas against the previous poll; connections seen for the first time
+// show the lifetime average the endpoint computed instead.
+func render(states []endpoint.ConnState, prev map[uint32]endpoint.ConnState, dt time.Duration) {
+	fmt.Printf("tackstat  %s  conns=%d\n\n", time.Now().Format("15:04:05"), len(states))
+	fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7s %13s %9s %7s %s\n",
+		"CONN", "ROLE", "STATE", "RATE", "SRTT", "RTTMIN", "INFLIGHT", "RETX",
+		"ACK-HZ (TGT)", "OVHD/MB", "STREAMS", "ANOMALIES")
+	for _, s := range states {
+		rate := s.DeliveryBps
+		if p, ok := prev[s.ConnID]; ok && dt > 0 {
+			db := (s.BytesAcked - p.BytesAcked) + (s.BytesDelivered - p.BytesDelivered)
+			rate = float64(db) * 8 / dt.Seconds()
+		}
+		retx := s.Retransmits
+		if s.Role == "receiver" {
+			retx = s.LossesDetected
+		}
+		target := "-"
+		if s.TargetAckHz > 0 {
+			target = fmt.Sprintf("%.0f", s.TargetAckHz)
+		}
+		anoms := strings.Join(s.Anomalies, ",")
+		if anoms == "" {
+			anoms = "-"
+		}
+		fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7d %7.1f (%3s) %9.0f %7d %s\n",
+			fmt.Sprintf("%08x", s.ConnID), s.Role, s.State,
+			rateStr(rate),
+			fmt.Sprintf("%.1fms", s.SRTTMs), fmt.Sprintf("%.1fms", s.RTTMinMs),
+			sizeStr(int64(s.InflightBytes)), retx,
+			s.AchievedAckHz, target,
+			s.AckOverheadBytesPerMB, s.Streams, anoms)
+	}
+}
+
+func rateStr(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2fGb/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1fMb/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.0fKb/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0fb/s", bps)
+	}
+}
+
+func sizeStr(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -126,6 +126,7 @@ type jsonFlow struct {
 	RTOs             int            `json:"rtos"`
 	FinalCwnd        int64          `json:"final_cwnd_bytes,omitempty"`
 	FinalPacingBps   float64        `json:"final_pacing_bps,omitempty"`
+	Anomalies        map[string]int `json:"anomalies,omitempty"`
 }
 
 type jsonMAC struct {
@@ -164,6 +165,9 @@ func jsonDoc(s *telemetry.TraceSummary) jsonSummary {
 			LossRanges: f.LossRanges, LossPackets: f.LossPackets,
 			LossEpisodes: f.LossEpisodes, RTOs: f.RTOs,
 			FinalCwnd: f.LastCwnd, FinalPacingBps: f.LastPacing,
+		}
+		if len(f.Anomalies) > 0 {
+			jf.Anomalies = f.Anomalies
 		}
 		if e := f.AckFrequencyError(); e >= 0 {
 			jf.AckFreqError = e

@@ -1,0 +1,115 @@
+// Package debugserver is the live observability plane's HTTP surface:
+// an opt-in debug listener exposing the telemetry registry in
+// Prometheus text format (/metrics), the standard pprof profiles
+// (/debug/pprof/), and a JSON per-connection state dump
+// (/debug/tack/conns) built from the endpoint's lock-cheap published
+// snapshots.
+//
+// The server deliberately uses its own mux (never http.DefaultServeMux)
+// so importing this package cannot leak debug handlers into an
+// application's public listener, and it binds only where the operator
+// pointed it (Config.DebugAddr / tackd -debug-addr) — the routes expose
+// internals and belong on localhost or a management network.
+package debugserver
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/tacktp/tack/internal/endpoint"
+	"github.com/tacktp/tack/internal/telemetry"
+)
+
+// Options wires the server to the process's observability sources.
+type Options struct {
+	// Registry is exported on /metrics (nil renders an empty page).
+	Registry *telemetry.Registry
+	// Conns supplies the per-connection snapshots for /debug/tack/conns
+	// (nil renders an empty list).
+	Conns func() []endpoint.ConnState
+	// OnScrape, when non-nil, runs before each /metrics render — the
+	// facade uses it to refresh aggregate gauges (ack overhead) from
+	// the latest connection snapshots.
+	OnScrape func()
+}
+
+// Server is a running debug HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New binds addr and starts serving the debug routes in a background
+// goroutine. Use Addr to discover the bound address (addr may carry
+// port 0) and Close to stop.
+func New(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(indexPage))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.OnScrape != nil {
+			opts.OnScrape()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheus(w, opts.Registry)
+	})
+	mux.HandleFunc("/debug/tack/conns", func(w http.ResponseWriter, r *http.Request) {
+		states := []endpoint.ConnState{}
+		if opts.Conns != nil {
+			states = opts.Conns()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(states)
+	})
+	mux.HandleFunc("/debug/tack/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(opts.Registry.Snapshot())
+	})
+	// pprof must be wired by hand on a private mux; the package's init
+	// only registers on http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+const indexPage = `tack debug endpoint
+  /metrics            Prometheus text exposition of the telemetry registry
+  /debug/tack/conns   JSON per-connection state snapshots
+  /debug/tack/metrics JSON registry snapshot (counters/gauges/histogram digests)
+  /debug/pprof/       Go runtime profiles (heap, goroutine, CPU, trace)
+`
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -12,12 +12,20 @@ import (
 // them with a cleanup. The server drains accepted connections so their
 // lifecycle machinery (linger, reaping) never blocks the accept queue.
 func benchPair(b *testing.B, tcfg transport.Config) (*Endpoint, *Endpoint) {
+	return benchPairCfg(b, Config{Transport: tcfg})
+}
+
+// benchPairCfg is benchPair with full endpoint-level configuration (used
+// to toggle the flight recorder).
+func benchPairCfg(b *testing.B, cfg Config) (*Endpoint, *Endpoint) {
 	b.Helper()
-	srv, err := Listen("127.0.0.1:0", Config{Transport: tcfg, HandshakeTimeout: 15 * time.Second})
+	scfg := cfg
+	scfg.HandshakeTimeout = 15 * time.Second
+	srv, err := Listen("127.0.0.1:0", scfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cli, err := Listen("127.0.0.1:0", Config{Transport: tcfg})
+	cli, err := Listen("127.0.0.1:0", cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -81,6 +89,25 @@ func BenchmarkEndpointThroughput(b *testing.B) {
 	const size = 4 << 20
 	tcfg := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
 	srv, cli := benchPair(b, tcfg)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transfer(b, srv, cli)
+	}
+}
+
+// BenchmarkEndpointThroughputNoRecorder is BenchmarkEndpointThroughput
+// with the per-connection flight recorder disabled. The default run
+// (recorder on) must stay within a few percent of this baseline —
+// scripts/bench_smoke.sh gates the ratio — so always-on recording stays
+// effectively free.
+func BenchmarkEndpointThroughputNoRecorder(b *testing.B) {
+	const size = 4 << 20
+	srv, cli := benchPairCfg(b, Config{
+		Transport:      transport.Config{Mode: transport.ModeTACK, TransferBytes: size},
+		FlightRecorder: -1,
+	})
 	b.SetBytes(size)
 	b.ReportAllocs()
 	b.ResetTimer()

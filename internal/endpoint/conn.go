@@ -3,11 +3,13 @@ package endpoint
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/stream"
+	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
 )
 
@@ -57,6 +59,18 @@ type Conn struct {
 	// kickQueued dedups pending stream kicks; guarded by sh.kickMu.
 	kickQueued bool
 
+	// Flight recorder: ring is the always-on per-connection event
+	// buffer; tracer is the ring tracer installed in front of the
+	// template tracer (or the template tracer itself when the recorder
+	// is disabled). anom is the shard-owned anomaly-detector state.
+	ring   *telemetry.Ring
+	tracer *telemetry.Tracer
+	anom   anomalyState
+
+	// snap is the latest shard-published observability snapshot; readers
+	// (StateSnapshot, the debug endpoint) only load the pointer.
+	snap atomic.Pointer[ConnState]
+
 	estOnce   sync.Once
 	estCh     chan struct{}
 	doneOnce  sync.Once
@@ -84,6 +98,45 @@ func (ep *Endpoint) newConn(peer *net.UDPAddr) *Conn {
 		estCh:    make(chan struct{}),
 		doneCh:   make(chan struct{}),
 	}
+}
+
+// attachRecorder installs the per-connection flight recorder in front
+// of the template tracer (unless Config.FlightRecorder is negative) and
+// leaves the effective tracer in c.tracer for endpoint-level events.
+func (c *Conn) attachRecorder(tcfg *transport.Config) {
+	c.tracer = tcfg.Tracer
+	if c.ep.cfg.FlightRecorder >= 0 {
+		c.ring = telemetry.NewRing(c.ep.cfg.FlightRecorder)
+		c.tracer = telemetry.WithRing(c.ring, tcfg.Tracer)
+		tcfg.Tracer = c.tracer
+	}
+}
+
+// trc returns the tracer endpoint-level events about this connection
+// (migration rejects, anomalies) are recorded through, so they land in
+// the flight recorder alongside the transport's own events.
+func (c *Conn) trc() *telemetry.Tracer {
+	if c.tracer != nil {
+		return c.tracer
+	}
+	return c.ep.cfg.Transport.Tracer
+}
+
+// FlightRecorder returns the connection's flight-recorder ring (nil
+// when Config.FlightRecorder is negative).
+func (c *Conn) FlightRecorder() *telemetry.Ring { return c.ring }
+
+// StateSnapshot returns the most recent observability snapshot the
+// owning shard published for this connection, or nil before the first
+// lifecycle tick. The returned struct is a private copy; the call reads
+// one atomic pointer and takes no locks shared with the datapath.
+func (c *Conn) StateSnapshot() *ConnState {
+	s := c.snap.Load()
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	return &cp
 }
 
 // vnow maps wall clock onto the connection's virtual clock.

@@ -139,6 +139,28 @@ type Config struct {
 	// Metrics registers endpoint-level instruments (nil falls back to
 	// Transport.Metrics; both nil disables).
 	Metrics *telemetry.Registry
+	// FlightRecorder sizes the per-connection flight-recorder ring
+	// (telemetry events, overwrite-oldest). 0 selects
+	// telemetry.DefaultRingSize; negative disables the recorder. The
+	// recorder is always on otherwise — even with no Tracer configured —
+	// so anomaly post-mortems capture the events leading up to a wedge.
+	FlightRecorder int
+	// PostMortemDir, when non-empty, is where anomaly detectors dump a
+	// connection's flight-recorder ring as a JSONL post-mortem file
+	// (postmortem-conn<id>-<class>.jsonl, readable by cmd/tacktrace).
+	// Empty disables dumps; detection still counts and traces.
+	PostMortemDir string
+	// DebugAddr, when non-empty, is the address the tack facade serves
+	// the debug HTTP endpoint on (/metrics, /debug/pprof/,
+	// /debug/tack/conns). The endpoint package itself does not open the
+	// listener — package tack wires it to avoid a dependency cycle.
+	DebugAddr string
+	// StallRTOs is the no-progress stall detector's threshold in
+	// multiples of the (backoff-free) RTO. Default 4.
+	StallRTOs int
+	// RetxStormThreshold is how many retransmissions within one rolling
+	// second fire the retransmission-storm anomaly. Default 50.
+	RetxStormThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +184,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = c.Transport.Metrics
+	}
+	if c.StallRTOs <= 0 {
+		c.StallRTOs = 4
+	}
+	if c.RetxStormThreshold <= 0 {
+		c.RetxStormThreshold = 50
 	}
 	// Fold the endpoint-level handshake overrides into the transport
 	// template once, so every per-connection copy inherits them.
@@ -229,6 +257,12 @@ type Endpoint struct {
 	pktPool sync.Pool
 	bufPool sync.Pool
 
+	// Shutdown hooks (facade-attached debug server, etc.); run once
+	// after the workers drain.
+	hookMu    sync.Mutex
+	onClose   []func()
+	hooksOnce sync.Once
+
 	// Endpoint telemetry (nil-safe).
 	mConns             *telemetry.Gauge
 	mRxPackets         *telemetry.Counter
@@ -244,6 +278,12 @@ type Endpoint struct {
 	mDials             *telemetry.Counter
 	mAccepts           *telemetry.Counter
 	mHandshake         *telemetry.Histogram
+	// Anomaly counters, indexed like anomalyClasses, plus post-mortem
+	// dump accounting and the aggregated ACK-overhead gauge.
+	mAnomaly         [len(anomalyClasses)]*telemetry.Counter
+	mAnomalyDumps    *telemetry.Counter
+	mAnomalyDumpErrs *telemetry.Counter
+	mAckOverhead     *telemetry.Gauge
 
 	// Batched-datapath telemetry: syscall batch sizes and freelist hit
 	// rates (hit rate = 1 - misses/gets).
@@ -318,6 +358,13 @@ func Listen(laddr string, cfg Config) (*Endpoint, error) {
 	ep.mDials = reg.Counter("ep.dials")
 	ep.mAccepts = reg.Counter("ep.accepts")
 	ep.mHandshake = reg.Histogram("ep.handshake_s")
+	ep.mAnomaly[anomalyIndex(telemetry.TrigStall)] = reg.Counter("ep.anomaly.stall")
+	ep.mAnomaly[anomalyIndex(telemetry.TrigRetxStorm)] = reg.Counter("ep.anomaly.retx_storm")
+	ep.mAnomaly[anomalyIndex(telemetry.TrigWndExhaust)] = reg.Counter("ep.anomaly.wnd_exhaust")
+	ep.mAnomaly[anomalyIndex(telemetry.TrigMigStorm)] = reg.Counter("ep.anomaly.mig_storm")
+	ep.mAnomalyDumps = reg.Counter("ep.anomaly.dumps")
+	ep.mAnomalyDumpErrs = reg.Counter("ep.anomaly.dump_errors")
+	ep.mAckOverhead = reg.Gauge("ep.ack_overhead_bytes_per_mb")
 	ep.mBatchRead = reg.Histogram("ep.batch.read_size")
 	ep.mBatchWrite = reg.Histogram("ep.batch.write_size")
 	ep.mPktPoolGets = reg.Counter("ep.batch.pkt_pool_gets")
@@ -491,6 +538,7 @@ func (ep *Endpoint) newSenderConn(raddr string, tcfg transport.Config) (*Conn, e
 	c.id = ep.allocID(c)
 	c.sh = ep.shardFor(c.id)
 	tcfg.ConnID = c.id
+	c.attachRecorder(&tcfg)
 	snd, err := transport.NewSender(c.loop, tcfg, c.output)
 	if err != nil {
 		ep.releaseID(c.id)
@@ -566,6 +614,16 @@ func (ep *Endpoint) isClosed() bool {
 	}
 }
 
+// OnClose registers fn to run once after the endpoint has fully shut
+// down (workers drained). The tack facade uses it to stop the debug
+// HTTP server with the endpoint. Hooks registered after Close may run
+// immediately on the caller's goroutine.
+func (ep *Endpoint) OnClose(fn func()) {
+	ep.hookMu.Lock()
+	ep.onClose = append(ep.onClose, fn)
+	ep.hookMu.Unlock()
+}
+
 // Close shuts the endpoint down: the socket closes, shard workers finish
 // every connection (their Wait unblocks with ErrClosed), and Accept/Dial
 // return ErrClosed. Safe to call multiple times.
@@ -575,6 +633,14 @@ func (ep *Endpoint) Close() error {
 		ep.conn.Close()
 	})
 	ep.wg.Wait()
+	ep.hooksOnce.Do(func() {
+		ep.hookMu.Lock()
+		hooks := ep.onClose
+		ep.hookMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+	})
 	return nil
 }
 

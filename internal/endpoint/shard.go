@@ -42,6 +42,10 @@ type shard struct {
 	// bookkeeping only needs millisecond granularity).
 	now time.Time
 
+	// lastSnap is when this shard last republished every connection's
+	// observability snapshot (see snapshotRefresh).
+	lastSnap time.Time
+
 	// Egress queue: encoded datagrams awaiting one WriteBatch. egress and
 	// egressBufs are parallel (egressBufs keeps the pool pointers so the
 	// buffers can be recycled after the flush).
@@ -218,10 +222,13 @@ func (sh *shard) onPacket(p *packet.Packet, from *net.UDPAddr) {
 		// No connection migration: the connection is bound to its
 		// handshake-time source address, so a known ConnID arriving from
 		// elsewhere — a NAT rebind, a Wi-Fi→cellular roam, or spoofing —
-		// is rejected. Observably: the counter and trace event let an
+		// is rejected. Observably: the counter, the per-conn tally (the
+		// migration-storm anomaly detector's input), and the trace event
+		// — recorded through the connection's flight recorder — let an
 		// operator distinguish "peer's address changed" from silent loss.
 		sh.ep.mMigrationRejected.Inc()
-		sh.ep.cfg.Transport.Tracer.MigrationRejected(c.vnow(), c.id, p.PktSeq, p.EncodedLen())
+		c.anom.migRejects++
+		c.trc().MigrationRejected(c.vnow(), c.id, p.PktSeq, p.EncodedLen())
 		return
 	}
 	c.lastRecv = sh.now
@@ -266,6 +273,7 @@ func (sh *shard) acceptSYN(p *packet.Packet, from *net.UDPAddr) {
 	}
 	tcfg := sh.ep.cfg.Transport
 	tcfg.ConnID = c.id
+	c.attachRecorder(&tcfg)
 	c.rcv = transport.NewReceiver(c.loop, tcfg, c.output)
 	if m := c.rcv.Streams(); m != nil {
 		// Stream reads drain per-stream windows on application
@@ -328,10 +336,15 @@ func (sh *shard) checkDone(c *Conn) {
 
 // tick drives every connection's virtual clock forward and applies the
 // lifecycle policies: linger expiry, embryo reaping, idle timeout,
-// keepalive.
+// keepalive. It also runs the anomaly detectors and republishes each
+// connection's observability snapshot on the snapshotRefresh cadence.
 func (sh *shard) tick() {
 	now := sh.now
 	ep := sh.ep
+	refresh := now.Sub(sh.lastSnap) >= snapshotRefresh
+	if refresh {
+		sh.lastSnap = now
+	}
 	for _, c := range sh.conns {
 		c.advance()
 		sh.checkDone(c)
@@ -368,6 +381,13 @@ func (sh *shard) tick() {
 			sh.remove(c, ErrIdleTimeout)
 		default:
 			sh.maybeKeepalive(c, now)
+		}
+		if sh.conns[c.id] != c {
+			continue // removed by a lifecycle arm above
+		}
+		sh.detectAnomalies(c, now)
+		if refresh || c.snap.Load() == nil {
+			sh.refreshSnapshot(c)
 		}
 	}
 }

@@ -69,6 +69,11 @@ type FlowSummary struct {
 	LastCwnd   int64
 	LastPacing float64
 
+	// Anomalies counts flight-recorder anomaly events by class name
+	// (stall, retx_storm, wnd_exhaust, mig_storm) — present when the
+	// trace is a post-mortem dump or the endpoint detectors fired.
+	Anomalies map[string]int
+
 	started               bool
 	firstAckAt, lastAckAt sim.Time
 	firstCumAck           uint64
@@ -124,6 +129,7 @@ func Analyze(events []Event) *TraceSummary {
 				Flow: id, Mode: "unknown",
 				AckTriggers:  map[string]int{},
 				IACKTriggers: map[string]int{},
+				Anomalies:    map[string]int{},
 				LossLatency:  stats.NewSummary(),
 			}
 			flows[id] = f
@@ -247,6 +253,8 @@ func Analyze(events []Event) *TraceSummary {
 			if e.Aux > 0 && (f.RTTMin == 0 || sim.Time(e.Aux) < f.RTTMin) {
 				f.RTTMin = sim.Time(e.Aux)
 			}
+		case KindAnomaly:
+			f.Anomalies[TriggerName(e.Trigger)]++
 		}
 	}
 	for _, f := range flows {
@@ -384,6 +392,9 @@ func (s *TraceSummary) String() string {
 		}
 		if f.LastCwnd > 0 || f.LastPacing > 0 {
 			fmt.Fprintf(&b, "  cc: final cwnd %d bytes, pacing %.2f Mbit/s\n", f.LastCwnd, f.LastPacing/1e6)
+		}
+		if len(f.Anomalies) > 0 {
+			fmt.Fprintf(&b, "  ANOMALIES: %s\n", renderTriggers(f.Anomalies))
 		}
 	}
 	if s.MAC != nil {

@@ -24,6 +24,12 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// seq is the cached deterministic visit order (counters, gauges,
+	// histograms; each group sorted by name), rebuilt lazily after an
+	// instrument is created. Exporters iterate it without allocating.
+	seq      []seqEntry
+	seqDirty bool
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -33,6 +39,27 @@ func NewRegistry() *Registry {
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
+}
+
+// MetricKind discriminates instrument types for Visit/Each.
+type MetricKind uint8
+
+// Instrument kinds reported by Registry.Visit and Registry.Each.
+const (
+	// MetricCounter is a monotonically increasing count.
+	MetricCounter MetricKind = iota
+	// MetricGauge is a point-in-time value.
+	MetricGauge
+	// MetricHistogram is a bucketed distribution.
+	MetricHistogram
+)
+
+type seqEntry struct {
+	name string
+	kind MetricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
 }
 
 // Counter returns (creating on first use) the named counter. Nil-safe:
@@ -52,6 +79,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c = r.counters[name]; c == nil {
 		c = &Counter{}
 		r.counters[name] = c
+		r.seqDirty = true
 	}
 	return c
 }
@@ -72,6 +100,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g = r.gauges[name]; g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.seqDirty = true
 	}
 	return g
 }
@@ -90,10 +119,88 @@ func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
-		h = &Histogram{s: stats.NewSummary()}
+		h = &Histogram{s: stats.NewSummary(), buckets: make([]uint64, len(BucketBounds))}
 		r.histograms[name] = h
+		r.seqDirty = true
 	}
 	return h
+}
+
+// sequence returns the deterministic instrument order, rebuilding the
+// cache if instruments were created since the last call. The returned
+// slice is immutable (rebuilds replace it), so callers iterate it
+// without holding the registry lock.
+func (r *Registry) sequence() []seqEntry {
+	r.mu.RLock()
+	if !r.seqDirty {
+		s := r.seq
+		r.mu.RUnlock()
+		return s
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seqDirty {
+		return r.seq
+	}
+	seq := make([]seqEntry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seq = append(seq, seqEntry{name: n, kind: MetricCounter, c: r.counters[n]})
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seq = append(seq, seqEntry{name: n, kind: MetricGauge, g: r.gauges[n]})
+	}
+	names = names[:0]
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seq = append(seq, seqEntry{name: n, kind: MetricHistogram, h: r.histograms[n]})
+	}
+	r.seq, r.seqDirty = seq, false
+	return seq
+}
+
+// Each calls fn for every instrument in deterministic order (counters,
+// then gauges, then histograms; each group sorted by name). Exactly one
+// of c/g/h is non-nil per call. fn runs without the registry lock held,
+// so it may call back into the registry. Nil-safe.
+func (r *Registry) Each(fn func(name string, kind MetricKind, c *Counter, g *Gauge, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, e := range r.sequence() {
+		fn(e.name, e.kind, e.c, e.g, e.h)
+	}
+}
+
+// Visit calls fn with every instrument's name, kind, and current value
+// in the same deterministic order as Each, without allocating a
+// Snapshot (the exporter hot path). Counters report their count as a
+// float64; histograms report their sample count — use Each for bucket
+// access. Nil-safe.
+func (r *Registry) Visit(fn func(name string, kind MetricKind, value float64)) {
+	r.Each(func(name string, kind MetricKind, c *Counter, g *Gauge, h *Histogram) {
+		switch kind {
+		case MetricCounter:
+			fn(name, kind, float64(c.Value()))
+		case MetricGauge:
+			fn(name, kind, g.Value())
+		case MetricHistogram:
+			fn(name, kind, float64(h.Count()))
+		}
+	})
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -135,12 +242,32 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram is a streaming distribution built on stats.Summary. Observe
-// takes a mutex (histogram observation points are chosen off the
-// per-packet hot path: per-ack, per-loss, per-snapshot).
+// BucketBounds are the fixed log-spaced histogram bucket upper bounds
+// shared by every Histogram: a 1-2-5 series per decade from 1e-6 to
+// 1e6. One fixed layout keeps Observe branch-free of sizing decisions,
+// makes every histogram exportable as a real Prometheus histogram, and
+// spans the units the stack records (seconds from microsecond loss
+// latencies to multi-second handshakes, batch sizes from 1 to 1024).
+// Samples above the last bound land only in the implicit +Inf bucket.
+var BucketBounds = makeBucketBounds()
+
+func makeBucketBounds() []float64 {
+	bounds := make([]float64, 0, 37)
+	for d := -6; d <= 5; d++ {
+		p := math.Pow(10, float64(d))
+		bounds = append(bounds, 1*p, 2*p, 5*p)
+	}
+	return append(bounds, 1e6)
+}
+
+// Histogram is a streaming distribution built on stats.Summary plus
+// fixed log-spaced buckets (BucketBounds) for Prometheus export.
+// Observe takes a mutex (histogram observation points are chosen off
+// the per-packet hot path: per-ack, per-loss, per-snapshot).
 type Histogram struct {
-	mu sync.Mutex
-	s  *stats.Summary
+	mu      sync.Mutex
+	s       *stats.Summary
+	buckets []uint64 // non-cumulative counts, parallel to BucketBounds
 }
 
 // Observe records one sample. Nil-safe.
@@ -150,7 +277,45 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.mu.Lock()
 	h.s.Add(v)
+	if i := sort.SearchFloat64s(BucketBounds, v); i < len(h.buckets) {
+		h.buckets[i]++
+	}
 	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed (0 on nil).
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.Count()
+}
+
+// VisitBuckets calls fn for each finite bucket bound with the
+// cumulative count of samples ≤ bound (Prometheus `le` semantics), in
+// ascending bound order, then returns the total sample count and sum.
+// Samples above the last bound are covered only by the caller's +Inf
+// bucket (count). fn runs without the histogram lock held.
+func (h *Histogram) VisitBuckets(fn func(le float64, cumulative uint64)) (count int, sum float64) {
+	if h == nil {
+		return 0, 0
+	}
+	var cum [64]uint64
+	h.mu.Lock()
+	n := len(h.buckets)
+	var c uint64
+	for i, b := range h.buckets {
+		c += b
+		cum[i] = c
+	}
+	count, sum = h.s.Count(), h.s.Sum()
+	h.mu.Unlock()
+	for i := 0; i < n; i++ {
+		fn(BucketBounds[i], cum[i])
+	}
+	return count, sum
 }
 
 // stat summarizes the histogram under its lock.
@@ -161,7 +326,7 @@ func (h *Histogram) stat() HistogramStat {
 		return HistogramStat{}
 	}
 	return HistogramStat{
-		Count: h.s.Count(), Mean: h.s.Mean(),
+		Count: h.s.Count(), Sum: h.s.Sum(), Mean: h.s.Mean(),
 		Min: h.s.Min(), Max: h.s.Max(),
 		P50: h.s.Percentile(50), P95: h.s.Percentile(95), P99: h.s.Percentile(99),
 	}
@@ -170,6 +335,7 @@ func (h *Histogram) stat() HistogramStat {
 // HistogramStat is a point-in-time histogram digest.
 type HistogramStat struct {
 	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
@@ -185,33 +351,34 @@ type Snapshot struct {
 	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
 }
 
-// Snapshot captures the registry's current values. Nil-safe (returns an
-// empty snapshot).
+// Snapshot captures the registry's current values, reading instruments
+// in the deterministic Each order so concurrent updates are observed in
+// a stable sequence and exports diff cleanly run-to-run. Nil-safe
+// (returns an empty snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{}
 	if r == nil {
 		return s
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]int64, len(r.counters))
-		for n, c := range r.counters {
-			s.Counters[n] = c.Value()
+	r.Each(func(name string, kind MetricKind, c *Counter, g *Gauge, h *Histogram) {
+		switch kind {
+		case MetricCounter:
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			s.Counters[name] = c.Value()
+		case MetricGauge:
+			if s.Gauges == nil {
+				s.Gauges = map[string]float64{}
+			}
+			s.Gauges[name] = g.Value()
+		case MetricHistogram:
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistogramStat{}
+			}
+			s.Histograms[name] = h.stat()
 		}
-	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges))
-		for n, g := range r.gauges {
-			s.Gauges[n] = g.Value()
-		}
-	}
-	if len(r.histograms) > 0 {
-		s.Histograms = make(map[string]HistogramStat, len(r.histograms))
-		for n, h := range r.histograms {
-			s.Histograms[n] = h.stat()
-		}
-	}
+	})
 	return s
 }
 

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expositionLine matches one valid Prometheus text-format line: a HELP/
+// TYPE comment or a sample with an optional single le label.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9.eE+-]+(e[+-][0-9]+)?)$`)
+
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("ep.rx_packets").Add(42)
+	reg.Counter("snd.data_packets").Add(7)
+	reg.Gauge("ep.conns").Set(3.5)
+	h := reg.Histogram("snd.rtt_s")
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.05, 1.5} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE tack_ep_rx_packets counter\ntack_ep_rx_packets 42\n",
+		"# TYPE tack_ep_conns gauge\ntack_ep_conns 3.5\n",
+		"# TYPE tack_snd_rtt_s histogram\n",
+		`tack_snd_rtt_s_bucket{le="+Inf"} 5`,
+		"tack_snd_rtt_s_count 5",
+		"tack_snd_rtt_s_p95 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x")
+	h.Observe(0.001) // le="0.001" bucket (bounds include 1e-3)
+	h.Observe(0.5)
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts must be cumulative and monotonically non-decreasing.
+	re := regexp.MustCompile(`tack_x_bucket\{le="([^"]+)"\} (\d+)`)
+	last := int64(-1)
+	matches := re.FindAllStringSubmatch(buf.String(), -1)
+	if len(matches) < 2 {
+		t.Fatalf("no bucket lines in output:\n%s", buf.String())
+	}
+	for _, m := range matches {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < last {
+			t.Fatalf("bucket le=%s count %d < previous %d (not cumulative)", m[1], n, last)
+		}
+		last = n
+	}
+	if last != 3 {
+		t.Fatalf("final bucket count = %d, want 3", last)
+	}
+}
+
+func TestWritePrometheusNilSafe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ep.rx_packets":             "tack_ep_rx_packets",
+		"ep.anomaly.stall":          "tack_ep_anomaly_stall",
+		"weird-name@2":              "tack_weird_name_2",
+		"ep.batch.read_size":        "tack_ep_batch_read_size",
+		"telemetry.dropped_events":  "tack_telemetry_dropped_events",
+		"already_clean:with_colons": "tack_already_clean:with_colons",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestVisitDeterministic locks the satellite contract: Visit (and the
+// Each iterator under it) walk instruments in a stable order — grouped
+// counters, gauges, histograms, each sorted by name — regardless of
+// creation order.
+func TestVisitDeterministic(t *testing.T) {
+	build := func(order []string) []string {
+		reg := NewRegistry()
+		for _, n := range order {
+			switch n[0] {
+			case 'c':
+				reg.Counter(n).Inc()
+			case 'g':
+				reg.Gauge(n).Set(1)
+			default:
+				reg.Histogram(n).Observe(1)
+			}
+		}
+		var names []string
+		reg.Visit(func(name string, kind MetricKind, value float64) {
+			names = append(names, name)
+		})
+		return names
+	}
+	a := build([]string{"c.b", "g.x", "h.z", "c.a", "g.y"})
+	b := build([]string{"g.y", "c.a", "c.b", "h.z", "g.x"})
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("visit order depends on creation order: %v vs %v", a, b)
+	}
+	want := []string{"c.a", "c.b", "g.x", "g.y", "h.z"}
+	if strings.Join(a, ",") != strings.Join(want, ",") {
+		t.Fatalf("visit order = %v, want %v", a, want)
+	}
+}
+
+// TestVisitValues checks the scalar projection each kind exports.
+func TestVisitValues(t *testing.T) {
+	reg := buildTestRegistry()
+	got := map[string]float64{}
+	reg.Visit(func(name string, kind MetricKind, value float64) { got[name] = value })
+	if got["ep.rx_packets"] != 42 {
+		t.Errorf("counter value = %v, want 42", got["ep.rx_packets"])
+	}
+	if got["ep.conns"] != 3.5 {
+		t.Errorf("gauge value = %v, want 3.5", got["ep.conns"])
+	}
+	if got["snd.rtt_s"] != 5 {
+		t.Errorf("histogram value (count) = %v, want 5", got["snd.rtt_s"])
+	}
+}
+
+// TestSnapshotDeterministic pins Snapshot to the same stable ordering.
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := buildTestRegistry()
+	a, err := reg.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultRingSize is the flight-recorder capacity used when a caller
+// asks for a ring without choosing a size. 256 events cover several
+// RTTs of ack/loss/cc activity at TACK ack frequencies while costing
+// ~18 KiB per connection.
+const DefaultRingSize = 256
+
+// Ring is a fixed-capacity flight recorder for Events: writes overwrite
+// the oldest entry once the buffer is full, and recording never
+// allocates after construction. It is the always-on capture layer behind
+// anomaly post-mortems — cheap enough to run on every connection even
+// when full tracing is disabled.
+//
+// A Ring is safe for concurrent use; Put takes a mutex (not the
+// per-packet hot path's atomics, but recording is a single struct copy
+// under the lock, and dump/snapshot readers are rare).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded; buf index = total % len(buf)
+}
+
+// NewRing returns a ring holding the last size events (DefaultRingSize
+// when size <= 0).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{buf: make([]Event, size)}
+}
+
+// Put records one event, overwriting the oldest when full. Nil-safe.
+func (r *Ring) Put(e *Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = *e
+	r.total++
+	r.mu.Unlock()
+}
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded, including ones
+// already overwritten.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot appends the held events to dst in oldest-to-newest order and
+// returns the extended slice. Pass a reused buffer to avoid allocation.
+func (r *Ring) Snapshot(dst []Event) []Event {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.total < n {
+		return append(dst, r.buf[:r.total]...)
+	}
+	head := r.total % n // index of the oldest event
+	dst = append(dst, r.buf[head:]...)
+	return append(dst, r.buf[:head]...)
+}
+
+// WriteJSONL encodes the held events to w as JSON Lines, oldest first.
+// The encoding is the same one streaming tracers and post-mortem dumps
+// use, so DecodeJSONL and cmd/tacktrace read it directly.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	events := r.Snapshot(nil)
+	buf := make([]byte, 0, 256)
+	for i := range events {
+		buf = AppendEvent(buf[:0], &events[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

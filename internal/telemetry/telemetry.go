@@ -107,6 +107,15 @@ const (
 	// on a regular acknowledgment.
 	KindStreamWindow
 
+	// KindAnomaly records an endpoint anomaly detector firing on a
+	// connection (and is the last event written into a flight-recorder
+	// post-mortem dump): Flow=ConnID, Trigger=anomaly class (TrigStall,
+	// TrigRetxStorm, TrigWndExhaust, TrigMigStorm), Len=bytes in flight
+	// at detection, Aux=class detail (stall: ns since last progress;
+	// retx storm: retransmissions in the window; window exhaustion: ns
+	// spent blocked; migration storm: rejects in the window).
+	KindAnomaly
+
 	numKinds
 )
 
@@ -131,6 +140,8 @@ var kindNames = [numKinds]string{
 	KindStreamOpened: "stream_opened",
 	KindStreamClosed: "stream_closed",
 	KindStreamWindow: "stream_window",
+
+	KindAnomaly: "anomaly",
 }
 
 // String returns the event name used on the wire (JSONL "ev" field).
@@ -182,6 +193,24 @@ const (
 	// TrigQueueFull / TrigRetryLimit are the KindMACDrop causes.
 	TrigQueueFull
 	TrigRetryLimit
+
+	// Anomaly classes (KindAnomaly triggers), fired by the endpoint's
+	// shard-loop detectors.
+
+	// TrigStall: data in flight but no cumulative-ack progress for more
+	// than N×RTO (sender) or no datagrams at all on an incomplete
+	// receiver for the equivalent span.
+	TrigStall
+	// TrigRetxStorm: retransmission rate over a rolling window crossed
+	// the storm threshold.
+	TrigRetxStorm
+	// TrigWndExhaust: the usable send window (min of cwnd and the peer's
+	// advertised window, minus flight) stayed exhausted with data queued
+	// for longer than the persistence threshold.
+	TrigWndExhaust
+	// TrigMigStorm: repeated migration rejects (NAT rebind / roam) for
+	// one connection within the detection window.
+	TrigMigStorm
 )
 
 var triggerNames = [...]string{
@@ -198,6 +227,10 @@ var triggerNames = [...]string{
 	TrigRetrans:    "retrans",
 	TrigQueueFull:  "queuefull",
 	TrigRetryLimit: "retrylimit",
+	TrigStall:      "stall",
+	TrigRetxStorm:  "retx_storm",
+	TrigWndExhaust: "wnd_exhaust",
+	TrigMigStorm:   "mig_storm",
 }
 
 // TriggerName renders a trigger value ("none" for the zero value).
@@ -244,30 +277,53 @@ type Event struct {
 type Tracer struct {
 	mu      sync.Mutex
 	events  []Event
+	retain  bool // append to events (in-memory tracers only)
 	wallNow func() int64
 
 	// Streaming sink (optional): events are encoded and written as they
-	// are recorded instead of being retained in memory.
+	// are recorded instead of being retained in memory. After the first
+	// write error the sink is considered dead: later events are counted
+	// as dropped without being encoded.
 	w       io.Writer
 	scratch []byte
 	werr    error
+	dropped int64
+	dropCtr *Counter
+
+	// Flight-recorder sink (optional): events are copied into ring, then
+	// forwarded to fwd (which may be nil).
+	ring *Ring
+	fwd  *Tracer
 }
 
 // New returns an in-memory tracer. Recorded events are retained and
 // available via Events / WriteJSONL. The wall clock defaults to time.Now;
 // use SetWallClock(nil) for deterministic traces.
 func New() *Tracer {
-	return &Tracer{wallNow: func() int64 { return time.Now().UnixNano() }}
+	return &Tracer{retain: true, wallNow: func() int64 { return time.Now().UnixNano() }}
 }
 
 // NewStreaming returns a tracer that encodes each event to w as a JSONL
 // line at record time (constant memory; suited to long runs). Call Err
-// after the run to check for sink write failures.
+// after the run to check for sink write failures; events emitted after a
+// write error are dropped (see DroppedEvents / CountDrops) rather than
+// encoded into the dead writer.
 func NewStreaming(w io.Writer) *Tracer {
 	t := New()
+	t.retain = false
 	t.w = w
 	t.scratch = make([]byte, 0, 256)
 	return t
+}
+
+// WithRing returns a tracer that records every event into ring and then
+// forwards it to next (which may be nil for ring-only capture). The ring
+// tracer retains nothing itself, so steady-state recording allocates
+// nothing; it is how the endpoint gives each connection an always-on
+// flight recorder in front of whatever tracer the application supplied.
+func WithRing(ring *Ring, next *Tracer) *Tracer {
+	return &Tracer{ring: ring, fwd: next,
+		wallNow: func() int64 { return time.Now().UnixNano() }}
 }
 
 // SetWallClock replaces the wall-clock source; nil disables wall-clock
@@ -291,15 +347,28 @@ func (t *Tracer) Emit(e Event) {
 	if t.wallNow != nil {
 		e.Wall = t.wallNow()
 	}
-	if t.w != nil {
-		t.scratch = AppendEvent(t.scratch[:0], &e)
-		if _, err := t.w.Write(t.scratch); err != nil && t.werr == nil {
-			t.werr = err
+	t.ring.Put(&e)
+	switch {
+	case t.w != nil:
+		if t.werr != nil {
+			// The sink already failed: do not encode into a dead
+			// writer, just account for the loss.
+			t.dropped++
+			t.dropCtr.Inc()
+		} else {
+			t.scratch = AppendEvent(t.scratch[:0], &e)
+			if _, err := t.w.Write(t.scratch); err != nil {
+				t.werr = err
+				t.dropped++
+				t.dropCtr.Inc()
+			}
 		}
-	} else {
+	case t.retain:
 		t.events = append(t.events, e)
 	}
+	fwd := t.fwd
 	t.mu.Unlock()
+	fwd.Emit(e)
 }
 
 // Err returns the first streaming-sink write error, if any.
@@ -310,6 +379,39 @@ func (t *Tracer) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.werr
+}
+
+// DroppedEvents returns how many events were discarded because the
+// streaming sink had failed (including the event whose write surfaced
+// the error).
+func (t *Tracer) DroppedEvents() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// CountDrops mirrors dropped-event accounting into c (conventionally
+// Registry.Counter("telemetry.dropped_events")), so a dead trace sink is
+// visible on the metrics plane.
+func (t *Tracer) CountDrops(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropCtr = c
+	t.mu.Unlock()
+}
+
+// Ring returns the flight-recorder ring this tracer records into (nil
+// for plain tracers).
+func (t *Tracer) Ring() *Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
 }
 
 // Events returns a copy of the recorded events (empty for streaming
@@ -535,4 +637,16 @@ func (t *Tracer) StreamWindow(now sim.Time, flow uint32, streamID uint32, limit 
 	}
 	t.Emit(Event{Sim: now, Kind: KindStreamWindow, Flow: flow, Trigger: trig,
 		Seq: uint64(streamID), Aux: limit})
+}
+
+// Anomaly records an endpoint anomaly detector firing: class is one of
+// the anomaly triggers (TrigStall, TrigRetxStorm, TrigWndExhaust,
+// TrigMigStorm), inflight the bytes in flight at detection, and detail
+// the class-specific magnitude (see KindAnomaly).
+func (t *Tracer) Anomaly(now sim.Time, flow uint32, class uint8, inflight int, detail uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindAnomaly, Flow: flow, Trigger: class,
+		Len: int64(inflight), Aux: detail})
 }

@@ -81,6 +81,7 @@ type Receiver struct {
 	mTACKs       *telemetry.Counter
 	mIACKs       *telemetry.Counter
 	mLosses      *telemetry.Counter
+	mAckBytes    *telemetry.Counter
 	mLossLatency *telemetry.Histogram
 	// OWD collects per-packet one-way delays (sim clock is shared, so these
 	// are true OWDs) for latency reporting.
@@ -115,6 +116,7 @@ func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
 		mTACKs:       cfg.Metrics.Counter("rcv.tacks_sent"),
 		mIACKs:       cfg.Metrics.Counter("rcv.iacks_sent"),
 		mLosses:      cfg.Metrics.Counter("rcv.losses_detected"),
+		mAckBytes:    cfg.Metrics.Counter("rcv.ack_bytes_sent"),
 		mLossLatency: cfg.Metrics.Histogram("rcv.loss_latency_s"),
 	}
 	r.tracer.FlowParams(loop.Now(), cfg.ConnID, cfg.Mode == ModeLegacy,
@@ -289,10 +291,14 @@ func (r *Receiver) emitSYNACK(echo sim.Time) {
 			{ID: packet.InitialWindowID, Limit: r.mux.InitialWindow()},
 		}
 	}
-	r.out(&packet.Packet{
+	pkt := &packet.Packet{
 		Type: packet.TypeSYNACK, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq,
 		SentAt: r.loop.Now(), Ack: a,
-	})
+	}
+	n := int64(pkt.EncodedLen())
+	r.Stats.AckBytesSent += n
+	r.mAckBytes.Add(n)
+	r.out(pkt)
 	r.nextPktSeq++
 	r.ackSeq++
 }
@@ -640,10 +646,16 @@ func (r *Receiver) sendAck(typ packet.Type, kind packet.IACKKind, trigger uint8,
 	r.ackTimer.Stop()
 	r.armAckTimer()
 
-	r.out(&packet.Packet{
+	pkt := &packet.Packet{
 		Type: typ, ConnID: r.cfg.ConnID, PktSeq: r.nextPktSeq, SentAt: now,
 		IACK: kind, Ack: a,
-	})
+	}
+	// Feedback overhead accounting (ACK bytes per delivered MB): every
+	// acknowledgment leaves at its wire encoding size.
+	n := int64(pkt.EncodedLen())
+	r.Stats.AckBytesSent += n
+	r.mAckBytes.Add(n)
+	r.out(pkt)
 	r.nextPktSeq++
 }
 
@@ -668,6 +680,48 @@ func (r *Receiver) contiguousPktSeq() uint64 {
 		r.cumPktSeq++
 	}
 	return r.cumPktSeq
+}
+
+// DeliveryRateBps returns the receiver's windowed-max delivery-rate
+// estimate in bit/s (0 until the first interval closes).
+func (r *Receiver) DeliveryRateBps() float64 { return r.deliv.MaxBps(r.loop.Now()) }
+
+// RTTMinSynced returns the sender-synced RTTmin (0 before the first
+// RTT-sync IACK lands).
+func (r *Receiver) RTTMinSynced() sim.Time { return r.rttMin }
+
+// AckTargetHz returns Eq. 3's target acknowledgment frequency
+// min(bw/(L·MSS), β/RTTmin) evaluated at the receiver's current
+// delivery-rate and RTTmin state, with the same discretizations the
+// live policy applies (the 1 ms α floor; byte-count threshold crossed
+// only on whole-packet arrivals). 0 when neither bound is computable
+// yet or in legacy mode.
+func (r *Receiver) AckTargetHz() float64 {
+	if r.cfg.Mode != ModeTACK {
+		return 0
+	}
+	beta, l := r.cfg.Params.Beta, r.cfg.Params.L
+	var periodicHz float64
+	if r.rttMin > 0 && beta > 0 {
+		alpha := r.rttMin / sim.Time(beta)
+		if alpha < sim.Millisecond {
+			alpha = sim.Millisecond
+		}
+		periodicHz = 1 / alpha.Seconds()
+	}
+	var byteHz float64
+	if bw := r.deliv.MaxBps(r.loop.Now()); bw > 0 && l > 0 && r.cfg.Payload > 0 {
+		pktsPerAck := (l*core.MSS + r.cfg.Payload - 1) / r.cfg.Payload
+		byteHz = bw / 8 / float64(pktsPerAck*r.cfg.Payload)
+	}
+	switch {
+	case periodicHz == 0:
+		return byteHz
+	case byteHz == 0 || periodicHz <= byteHz:
+		return periodicHz
+	default:
+		return byteHz
+	}
 }
 
 // LossTracker exposes the receiver's loss tracker (diagnostics only).

@@ -86,6 +86,7 @@ type Sender struct {
 	mRetransmits  *telemetry.Counter
 	mTimeouts     *telemetry.Counter
 	mAcksReceived *telemetry.Counter
+	mAckBytes     *telemetry.Counter
 	mLossEpisodes *telemetry.Counter
 	mSYNRetrans   *telemetry.Counter
 	mRTT          *telemetry.Histogram
@@ -121,6 +122,7 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 		mRetransmits:  cfg.Metrics.Counter("snd.retransmits"),
 		mTimeouts:     cfg.Metrics.Counter("snd.timeouts"),
 		mAcksReceived: cfg.Metrics.Counter("snd.acks_received"),
+		mAckBytes:     cfg.Metrics.Counter("snd.ack_bytes_received"),
 		mLossEpisodes: cfg.Metrics.Counter("snd.loss_episodes"),
 		mSYNRetrans:   cfg.Metrics.Counter("snd.syn_retransmits"),
 		mRTT:          cfg.Metrics.Histogram("snd.rtt_s"),
@@ -240,6 +242,20 @@ func (s *Sender) rto() sim.Time {
 	return rto << s.rtoBackoff
 }
 
+// BaseRTO returns the current retransmission timeout before exponential
+// backoff — the stable per-connection timescale the endpoint's stall
+// detector multiplies (backoff would make an N×RTO threshold chase its
+// own tail during the very stalls it is meant to catch).
+func (s *Sender) BaseRTO() sim.Time {
+	rto := s.est().RTO(s.cfg.MinRTO, s.cfg.MaxRTO, sim.Second)
+	if s.cfg.Mode == ModeTACK {
+		if min, ok := s.est().Min(s.loop.Now()); ok {
+			rto += min / 2
+		}
+	}
+	return rto
+}
+
 // inflight returns unacknowledged payload bytes.
 func (s *Sender) inflight() int { return s.buf.Bytes() }
 
@@ -282,6 +298,24 @@ func (s *Sender) window() int {
 	}
 	return w
 }
+
+// WindowFree returns the byte budget currently available for new data
+// (cwnd and peer-advertised window minus flight); ≤ 0 means the sender
+// is window-blocked. Introspection for snapshots and the endpoint's
+// window-exhaustion detector.
+func (s *Sender) WindowFree() int { return s.window() }
+
+// CWND returns the congestion controller's current window in bytes.
+func (s *Sender) CWND() int { return s.ctrl.CWND() }
+
+// PeerWindow returns the peer's last advertised receive window and
+// whether one has been seen.
+func (s *Sender) PeerWindow() (uint64, bool) { return s.awnd, s.awndKnown }
+
+// StreamBacklog reports whether un-transmitted application bytes remain
+// (stream frames queued, app-paced bytes pending, or a bounded transfer
+// not yet fully handed to the network).
+func (s *Sender) StreamBacklog() bool { return s.streamRemaining() }
 
 // trySend transmits retransmissions first, then new data, subject to the
 // congestion window, the peer window, and pacing.
@@ -613,8 +647,17 @@ func (s *Sender) onRTO() {
 func (s *Sender) OnPacket(p *packet.Packet) {
 	switch p.Type {
 	case packet.TypeSYNACK:
+		// Feedback overhead accounting (ACK bytes per delivered MB):
+		// every ack-bearing packet the sender absorbs counts at its wire
+		// encoding size.
+		n := int64(p.EncodedLen())
+		s.Stats.AckBytesReceived += n
+		s.mAckBytes.Add(n)
 		s.onSynAck(p)
 	case packet.TypeTACK, packet.TypeIACK, packet.TypeFINACK:
+		n := int64(p.EncodedLen())
+		s.Stats.AckBytesReceived += n
+		s.mAckBytes.Add(n)
 		s.onAck(p)
 	}
 }

@@ -281,6 +281,10 @@ type SenderStats struct {
 	BytesAcked     int64
 	RTTSyncsSent   int
 	SYNRetransmits int // SYNs re-sent under the handshake backoff schedule
+	// AckBytesReceived is the wire size of every ack-bearing packet
+	// absorbed (SYNACK/TACK/IACK/FINACK): the sender-side half of the
+	// ACK-overhead-per-delivered-MB accounting.
+	AckBytesReceived int64
 }
 
 // ReceiverStats aggregates receiver-side counters.
@@ -297,6 +301,10 @@ type ReceiverStats struct {
 	// SYNACKRetransmits counts SYNACKs re-emitted for an embryo whose
 	// previous SYNACK (or the client's follow-up) apparently got lost.
 	SYNACKRetransmits int
+	// AckBytesSent is the wire size of every acknowledgment emitted
+	// (SYNACK/TACK/IACK/FINACK): the receiver-side half of the
+	// ACK-overhead-per-delivered-MB accounting.
+	AckBytesSent int64
 }
 
 // AcksSent returns the total acknowledgments the receiver emitted.

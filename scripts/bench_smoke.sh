@@ -11,11 +11,16 @@
 # benchmark (multi-stream vs serialized per-object completion, goodput,
 # and scheduler fairness) from `tackbench mux -json`.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json]
+# Also emits BENCH_observability.json: flight-recorder-on vs -off
+# endpoint throughput. The recorder is always on by default, so its cost
+# is gated: recorder-on goodput must stay within 5% of recorder-off.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
 stream_out="${2:-BENCH_stream.json}"
+obs_out="${3:-BENCH_observability.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -67,3 +72,31 @@ awk -v imp="$improvement" 'BEGIN { exit !(imp + 0 >= 0.30) }' || {
     exit 1
 }
 echo "stream bench OK: $stream_out"
+
+# Flight-recorder overhead gate: run recorder-on (the default datapath)
+# and recorder-off back to back in one process and compare MB/s. The
+# recorder is a struct copy into a preallocated ring, so parity is the
+# expectation; a >5% gap is a regression in the always-on path. The
+# codec zero-alloc gate above already pins allocs/op with the recorder
+# on (BenchmarkEndpointThroughput runs with the default config).
+obs_raw="$(mktemp)"
+go test -run '^$' -bench 'BenchmarkEndpointThroughput$|BenchmarkEndpointThroughputNoRecorder$' \
+    -benchmem -benchtime 2s -count 3 ./internal/endpoint/ | tee "$obs_raw"
+awk '
+$1 ~ /^BenchmarkEndpointThroughput(-[0-9]+)?$/           { for (i=2;i<NF;i++) if ($(i+1)=="MB/s") { on += $i; n_on++ } }
+$1 ~ /^BenchmarkEndpointThroughputNoRecorder(-[0-9]+)?$/ { for (i=2;i<NF;i++) if ($(i+1)=="MB/s") { off += $i; n_off++ } }
+END {
+    if (n_on == 0 || n_off == 0) { print "missing benchmark output" > "/dev/stderr"; exit 1 }
+    on /= n_on; off /= n_off
+    ratio = on / off
+    printf "{\n  \"recorder_on_mb_per_s\": %.2f,\n  \"recorder_off_mb_per_s\": %.2f,\n  \"ratio\": %.4f\n}\n", on, off, ratio
+    printf "flight recorder: on %.2f MB/s, off %.2f MB/s (ratio %.3f)\n", on, off, ratio > "/dev/stderr"
+    exit !(ratio >= 0.95)
+}
+' "$obs_raw" > "$obs_out" || {
+    echo "observability bench FAILED: recorder-on goodput < 95% of recorder-off (see $obs_out)" >&2
+    rm -f "$obs_raw"
+    exit 1
+}
+rm -f "$obs_raw"
+echo "observability bench OK: $obs_out"

@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/debugserver"
 	"github.com/tacktp/tack/internal/endpoint"
 	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
@@ -146,8 +147,35 @@ func NewStreamingTracer(w io.Writer) *Tracer { return telemetry.NewStreaming(w) 
 
 // Listen binds a UDP socket and starts a multi-connection endpoint that
 // can both Accept inbound connections and Dial outbound ones.
+//
+// When cfg.DebugAddr is non-empty a debug HTTP server is started on that
+// address alongside the endpoint, exposing /metrics (Prometheus),
+// /debug/pprof/, and /debug/tack/conns; it is torn down with the
+// endpoint. A metrics registry is created automatically if none was
+// configured so the debug routes are never empty.
 func Listen(laddr string, cfg EndpointConfig) (*Endpoint, error) {
-	return endpoint.Listen(laddr, cfg)
+	if cfg.DebugAddr != "" && cfg.Metrics == nil && cfg.Transport.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	ep, err := endpoint.Listen(laddr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DebugAddr != "" {
+		srv, err := debugserver.New(cfg.DebugAddr, debugserver.Options{
+			Registry: ep.Metrics(),
+			// StateSnapshots also refreshes the aggregate ack-overhead
+			// gauge, so /metrics scrapes it fresh too.
+			Conns:    ep.StateSnapshots,
+			OnScrape: func() { ep.StateSnapshots() },
+		})
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		ep.OnClose(func() { srv.Close() })
+	}
+	return ep, nil
 }
 
 // Dial opens a standalone sending connection to raddr over a private
