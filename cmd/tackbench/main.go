@@ -9,6 +9,7 @@
 //	tackbench run [-path wlan] [-trace out.jsonl] [-json]   # one traced flow
 //	tackbench chaos [-conns 8] [-bytes 256K] [-seed 7]      # adversarial live soak
 //	tackbench mux [-objects 8] [-bytes 256K] [-json]        # stream multiplexing vs serialized
+//	tackbench rack [-objects 4] [-bytes 16K] [-json]        # RACK-TLP vs dup-thresh under burst loss
 //
 // Flags:
 //
@@ -32,7 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and ensembles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags] | mux [flags] | rack [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 	}
 	flag.Parse()
@@ -58,6 +59,9 @@ func main() {
 		return
 	case "mux":
 		muxCmd(args[1:])
+		return
+	case "rack":
+		rackCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

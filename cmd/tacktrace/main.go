@@ -94,39 +94,43 @@ func filterFlow(events []telemetry.Event, id uint32) []telemetry.Event {
 
 // jsonFlow is the machine-readable per-flow digest.
 type jsonFlow struct {
-	Flow             uint32         `json:"flow"`
-	Mode             string         `json:"mode"`
-	Beta             int            `json:"beta,omitempty"`
-	L                int            `json:"l,omitempty"`
-	StartSec         float64        `json:"start_sec"`
-	EndSec           float64        `json:"end_sec"`
-	DataPackets      int            `json:"data_packets"`
-	Retransmits      int            `json:"retransmits"`
-	BytesSent        int64          `json:"bytes_sent"`
-	BytesAcked       int64          `json:"bytes_acked"`
-	TACKs            int            `json:"tacks"`
-	IACKs            int            `json:"iacks"`
-	AcksReceived     int            `json:"acks_received,omitempty"`
-	AckTriggers      map[string]int `json:"ack_triggers,omitempty"`
-	IACKTriggers     map[string]int `json:"iack_triggers,omitempty"`
-	RTTMinSec        float64        `json:"rttmin_sec,omitempty"`
-	DeliveryBps      float64        `json:"delivery_bps,omitempty"`
-	AchievedAckHz    float64        `json:"achieved_ack_hz,omitempty"`
-	TargetAckHz      float64        `json:"target_ack_hz,omitempty"`
-	TargetByteHz     float64        `json:"target_byte_hz,omitempty"`
-	TargetPeriodicHz float64        `json:"target_periodic_hz,omitempty"`
-	Regime           string         `json:"regime,omitempty"`
-	AckFreqError     float64        `json:"ack_freq_error,omitempty"`
-	LossRanges       int            `json:"loss_ranges"`
-	LossPackets      int            `json:"loss_packets"`
-	LossLatencyP50   float64        `json:"loss_latency_p50_sec,omitempty"`
-	LossLatencyP95   float64        `json:"loss_latency_p95_sec,omitempty"`
-	LossLatencyP99   float64        `json:"loss_latency_p99_sec,omitempty"`
-	LossEpisodes     int            `json:"loss_episodes"`
-	RTOs             int            `json:"rtos"`
-	FinalCwnd        int64          `json:"final_cwnd_bytes,omitempty"`
-	FinalPacingBps   float64        `json:"final_pacing_bps,omitempty"`
-	Anomalies        map[string]int `json:"anomalies,omitempty"`
+	Flow             uint32             `json:"flow"`
+	Mode             string             `json:"mode"`
+	Beta             int                `json:"beta,omitempty"`
+	L                int                `json:"l,omitempty"`
+	StartSec         float64            `json:"start_sec"`
+	EndSec           float64            `json:"end_sec"`
+	DataPackets      int                `json:"data_packets"`
+	Retransmits      int                `json:"retransmits"`
+	BytesSent        int64              `json:"bytes_sent"`
+	BytesAcked       int64              `json:"bytes_acked"`
+	TACKs            int                `json:"tacks"`
+	IACKs            int                `json:"iacks"`
+	AcksReceived     int                `json:"acks_received,omitempty"`
+	AckTriggers      map[string]int     `json:"ack_triggers,omitempty"`
+	IACKTriggers     map[string]int     `json:"iack_triggers,omitempty"`
+	RTTMinSec        float64            `json:"rttmin_sec,omitempty"`
+	DeliveryBps      float64            `json:"delivery_bps,omitempty"`
+	AchievedAckHz    float64            `json:"achieved_ack_hz,omitempty"`
+	TargetAckHz      float64            `json:"target_ack_hz,omitempty"`
+	TargetByteHz     float64            `json:"target_byte_hz,omitempty"`
+	TargetPeriodicHz float64            `json:"target_periodic_hz,omitempty"`
+	Regime           string             `json:"regime,omitempty"`
+	AckFreqError     float64            `json:"ack_freq_error,omitempty"`
+	LossRanges       int                `json:"loss_ranges"`
+	LossPackets      int                `json:"loss_packets"`
+	LossLatencyP50   float64            `json:"loss_latency_p50_sec,omitempty"`
+	LossLatencyP95   float64            `json:"loss_latency_p95_sec,omitempty"`
+	LossLatencyP99   float64            `json:"loss_latency_p99_sec,omitempty"`
+	LossMarks        map[string]int     `json:"loss_marks,omitempty"`
+	MarkLatencyP50   map[string]float64 `json:"mark_latency_p50_sec,omitempty"`
+	MarkLatencyP95   map[string]float64 `json:"mark_latency_p95_sec,omitempty"`
+	TLPProbes        int                `json:"tlp_probes,omitempty"`
+	LossEpisodes     int                `json:"loss_episodes"`
+	RTOs             int                `json:"rtos"`
+	FinalCwnd        int64              `json:"final_cwnd_bytes,omitempty"`
+	FinalPacingBps   float64            `json:"final_pacing_bps,omitempty"`
+	Anomalies        map[string]int     `json:"anomalies,omitempty"`
 }
 
 type jsonMAC struct {
@@ -177,6 +181,20 @@ func jsonDoc(s *telemetry.TraceSummary) jsonSummary {
 			jf.LossLatencyP95 = f.LossLatency.Percentile(95)
 			jf.LossLatencyP99 = f.LossLatency.Percentile(99)
 		}
+		if len(f.LossMarks) > 0 {
+			jf.LossMarks = f.LossMarks
+			jf.TLPProbes = f.TLPProbes
+			jf.MarkLatencyP50 = map[string]float64{}
+			jf.MarkLatencyP95 = map[string]float64{}
+			for det, sm := range f.MarkLatency {
+				if sm.Count() > 0 {
+					jf.MarkLatencyP50[det] = sm.Percentile(50)
+					jf.MarkLatencyP95[det] = sm.Percentile(95)
+				}
+			}
+		} else if f.TLPProbes > 0 {
+			jf.TLPProbes = f.TLPProbes
+		}
 		doc.Flows = append(doc.Flows, jf)
 	}
 	if s.MAC != nil {
@@ -194,6 +212,7 @@ func jsonDoc(s *telemetry.TraceSummary) jsonSummary {
 // bucket is one per-flow per-second timeline cell.
 type bucket struct {
 	data, retx, tacks, iacks, losses int
+	marked, tlp                      int
 	bytes                            int64
 }
 
@@ -240,6 +259,10 @@ func printTimeline(w io.Writer, events []telemetry.Event) {
 			}
 		case telemetry.KindLossDeclared:
 			cell(e.Flow, e.Sim).losses += int(e.Len)
+		case telemetry.KindLossMarked:
+			cell(e.Flow, e.Sim).marked++
+		case telemetry.KindTLPProbe:
+			cell(e.Flow, e.Sim).tlp++
 		}
 	}
 	if len(flows) == 0 {
@@ -258,8 +281,8 @@ func printTimeline(w io.Writer, events []telemetry.Event) {
 			if b == nil {
 				continue
 			}
-			fmt.Fprintf(w, "  [%3ds] data=%-6d (%7.2f Mbit) retx=%-4d tacks=%-5d iacks=%-3d lost=%d\n",
-				sec, b.data, float64(b.bytes)*8/1e6, b.retx, b.tacks, b.iacks, b.losses)
+			fmt.Fprintf(w, "  [%3ds] data=%-6d (%7.2f Mbit) retx=%-4d tacks=%-5d iacks=%-3d lost=%-4d marked=%-4d tlp=%d\n",
+				sec, b.data, float64(b.bytes)*8/1e6, b.retx, b.tacks, b.iacks, b.losses, b.marked, b.tlp)
 		}
 	}
 }

@@ -86,11 +86,54 @@ type SendBuffer struct {
 	marked     []*Segment
 	markedLive int
 
+	// tsorted is the transmission-time-ordered scan list RACK loss
+	// detection walks: one entry per (re)transmission, appended in send
+	// order (send times are monotone within a connection), consumed as a
+	// prefix. An entry goes stale when its segment was released, was
+	// retransmitted since (SentAt moved), or is already loss-marked.
+	tsorted []tsEntry
+	tsHead  int
+
+	// RACK delivery state: the most recently *transmitted* segment ever
+	// acknowledged — RFC 8985's (RACK.xmit_ts, RACK.end_seq) pair, keyed
+	// here by packet number since retransmissions get fresh PKT.SEQs.
+	rackValid    bool
+	rackXmitTime sim.Time
+	rackPktSeq   uint64
+
+	// Reordering evidence: a segment released on its original transmission
+	// after a later transmission had already been acked by a *previous*
+	// acknowledgment (batchRackPkt snapshots rackPktSeq per ack), or
+	// released while loss-marked without ever being retransmitted (the mark
+	// was provably premature). Cumulative count; the sender diffs it per
+	// ack to widen the RACK reorder window.
+	reorders     int64
+	batchRackPkt uint64
+
+	// Per-ack context set by BeginRateSample: the ack's arrival time and
+	// the path's minimum RTT, used to reject ambiguous acks of
+	// retransmitted segments from the RACK clock.
+	ackNow      sim.Time
+	ackRTTFloor sim.Time
+
 	// OnRelease, when set, observes every segment release (each segment is
 	// released exactly once, whichever acknowledgment path got there first).
 	// The stream layer uses it to credit acknowledged frame bytes back to
 	// the owning stream.
 	OnRelease func(*Segment)
+}
+
+// tsEntry pins a segment at one transmission time in the time-ordered
+// RACK scan list.
+type tsEntry struct {
+	seg    *Segment
+	sentAt sim.Time
+}
+
+// live reports whether the entry still describes its segment's current,
+// unacknowledged, unmarked transmission.
+func (e tsEntry) live() bool {
+	return !e.seg.released && !e.seg.LossMarked && e.seg.SentAt == e.sentAt
 }
 
 // NewSendBuffer returns an empty send buffer.
@@ -111,6 +154,7 @@ func (b *SendBuffer) Insert(seg *Segment) {
 	b.byPkt[seg.PktSeq] = seg
 	b.order = append(b.order, seg.Seq)
 	b.bytes += seg.Len
+	b.tsorted = append(b.tsorted, tsEntry{seg: seg, sentAt: seg.SentAt})
 }
 
 // Retransmitted updates a segment's packet number after it was re-sent:
@@ -129,6 +173,7 @@ func (b *SendBuffer) Retransmitted(seg *Segment, newPktSeq uint64, now sim.Time)
 	seg.hasRetx = true
 	seg.deliveredAtSend = b.releasedBytes
 	b.byPkt[newPktSeq] = seg
+	b.tsorted = append(b.tsorted, tsEntry{seg: seg, sentAt: now})
 }
 
 // MayRetransmit reports whether the once-per-RTT retransmission rule allows
@@ -212,6 +257,33 @@ func (b *SendBuffer) release(seg *Segment) {
 		b.rateValid = true
 		b.rateSentAt = seg.SentAt
 		b.rateDeliveredAtSend = seg.deliveredAtSend
+	}
+	// Reordering evidence, judged before the mark is cleared below. Only
+	// original transmissions count: a retransmission acked late proves
+	// nothing about network ordering.
+	if seg.Retransmits == 0 {
+		if seg.LossMarked {
+			// Marked lost, never retransmitted, yet the original arrived:
+			// the reorder window was provably too narrow.
+			b.reorders++
+		} else if b.batchRackPkt > 0 && seg.PktSeq < b.batchRackPkt {
+			// A later transmission was acked by an *earlier* ack (the
+			// per-ack snapshot keeps same-ack batches, whose release order
+			// is arbitrary, from counting).
+			b.reorders++
+		}
+	}
+	// Advance the RACK most-recently-sent-and-acked state — unless the
+	// segment was retransmitted and the implied RTT is below the path
+	// floor: that delivery was of an earlier transmission, and taking the
+	// retransmit timestamp would spuriously age everything in flight.
+	ambiguous := seg.Retransmits > 0 && b.ackRTTFloor > 0 &&
+		b.ackNow-seg.SentAt < b.ackRTTFloor
+	if !ambiguous && (!b.rackValid || seg.SentAt > b.rackXmitTime ||
+		(seg.SentAt == b.rackXmitTime && seg.PktSeq > b.rackPktSeq)) {
+		b.rackValid = true
+		b.rackXmitTime = seg.SentAt
+		b.rackPktSeq = seg.PktSeq
 	}
 	seg.released = true
 	if seg.LossMarked {
@@ -340,9 +412,89 @@ func (b *SendBuffer) Bytes() int { return b.bytes }
 // (cumulatively or selectively) since the buffer was created.
 func (b *SendBuffer) ReleasedBytes() int64 { return b.releasedBytes }
 
-// BeginRateSample resets the delivery-rate anchor; call before processing
-// one acknowledgment's releases.
-func (b *SendBuffer) BeginRateSample() { b.rateValid = false }
+// BeginRateSample resets the delivery-rate anchor and snapshots the RACK
+// delivery state for reorder detection; call before processing one
+// acknowledgment's releases. now is the ack's arrival time and rttFloor
+// the path's minimum RTT (0 disables the check): together they
+// disambiguate acks of retransmitted segments — a release whose implied
+// RTT is below the floor was a delivery of an *earlier* transmission, so
+// its retransmit timestamp must not advance the RACK clock (RFC 8985
+// §6.2 step 2).
+func (b *SendBuffer) BeginRateSample(now, rttFloor sim.Time) {
+	b.rateValid = false
+	b.ackNow, b.ackRTTFloor = now, rttFloor
+	if b.rackValid {
+		b.batchRackPkt = b.rackPktSeq
+	}
+}
+
+// RackState returns the transmission time and packet number of the most
+// recently sent segment ever acknowledged (RFC 8985 RACK.xmit_ts /
+// RACK.end_seq); ok is false before the first release.
+func (b *SendBuffer) RackState() (xmitTime sim.Time, pktSeq uint64, ok bool) {
+	return b.rackXmitTime, b.rackPktSeq, b.rackValid
+}
+
+// ReorderEvents returns the cumulative count of observed packet
+// reorderings (original transmissions acknowledged out of send order, or
+// loss marks disproven by a late original arrival). Diff across acks to
+// react to fresh evidence.
+func (b *SendBuffer) ReorderEvents() int64 { return b.reorders }
+
+// ScanRackLosses walks unacknowledged segments in transmission-time order,
+// visiting only those sent before the RACK most-recently-delivered
+// transmission (cutoff/cutoffPkt): strictly earlier send times qualify, and
+// timestamp ties — a paced burst emits many segments at one instant — break
+// by packet number like RFC 8985 breaks them by sequence, so the unacked
+// tail of the very burst the delivered segment came from is not mistaken
+// for "older than delivered". fn returns true when it marked the segment
+// lost (the entry is consumed); returning false stops the walk — every
+// later entry was sent even more recently, so its loss deadline is further
+// out. The returned sentAt/pending report the first un-marked candidate's
+// transmission time so the caller can arm a reorder-window re-check timer.
+func (b *SendBuffer) ScanRackLosses(cutoff sim.Time, cutoffPkt uint64, fn func(*Segment) bool) (sentAt sim.Time, pending bool) {
+	for b.tsHead < len(b.tsorted) {
+		e := b.tsorted[b.tsHead]
+		if !e.live() {
+			b.tsorted[b.tsHead] = tsEntry{} // release the *Segment
+			b.tsHead++
+			continue
+		}
+		// Entries order by (sentAt, PktSeq), so the first non-candidate ends
+		// the candidate prefix.
+		if e.sentAt > cutoff || (e.sentAt == cutoff && e.seg.PktSeq >= cutoffPkt) {
+			return 0, false
+		}
+		if !fn(e.seg) {
+			return e.sentAt, true
+		}
+		// fn marked the segment: the entry is stale now (LossMarked), and
+		// a future retransmission re-appends it with a fresh timestamp.
+		b.tsorted[b.tsHead] = tsEntry{}
+		b.tsHead++
+	}
+	b.maybeCompactTsorted()
+	return 0, false
+}
+
+// maybeCompactTsorted reclaims the consumed prefix once it dominates.
+func (b *SendBuffer) maybeCompactTsorted() {
+	if b.tsHead > 1024 && b.tsHead*2 > len(b.tsorted) {
+		b.tsorted = append(b.tsorted[:0:0], b.tsorted[b.tsHead:]...)
+		b.tsHead = 0
+	}
+}
+
+// Newest returns the unacked segment with the highest byte offset (the
+// tail a TLP probe retransmits), or nil when nothing is outstanding.
+func (b *SendBuffer) Newest() *Segment {
+	for i := len(b.order) - 1; i >= b.head; i-- {
+		if seg, ok := b.bySeq[b.order[i]]; ok {
+			return seg
+		}
+	}
+	return nil
+}
 
 // RateSample returns a BBR-style delivery-rate sample for the releases
 // since BeginRateSample: delivered bytes over the send-anchored interval.

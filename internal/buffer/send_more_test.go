@@ -148,7 +148,7 @@ func TestRateSample(t *testing.T) {
 	s2.SentAt = 20 * sim.Millisecond
 	b.Insert(s2)
 
-	b.BeginRateSample()
+	b.BeginRateSample(0, 0)
 	if _, ok := b.RateSample(30 * sim.Millisecond); ok {
 		t.Fatal("no releases: no sample")
 	}
@@ -163,7 +163,7 @@ func TestRateSample(t *testing.T) {
 		t.Fatalf("rate = %v, want ~1.6e6", bps)
 	}
 	// Degenerate interval rejected.
-	b.BeginRateSample()
+	b.BeginRateSample(0, 0)
 	s3 := seg(2000, 1000, 3)
 	s3.SentAt = 40 * sim.Millisecond
 	b.Insert(s3)

@@ -15,19 +15,19 @@ import (
 
 // TestUDPRunnerLoopbackTransfer exercises the sans-IO engine over real UDP
 // sockets on loopback: a bounded TACK-mode stream must complete and deliver
-// every byte. (Migrated from the old transport.UDPRunner; the deprecated
-// constructors keep working as thin endpoint wrappers.)
+// every byte. (Migrated from the old transport.UDPRunner to the
+// options-based constructor.)
 func TestUDPRunnerLoopbackTransfer(t *testing.T) {
 	const size = 256 << 10
 	cfgR := transport.Config{Mode: transport.ModeTACK, TransferBytes: size}
-	rcv, err := NewUDPReceiverRunner(cfgR, "127.0.0.1:0", "")
+	rcv, err := NewUDPRunner(cfgR, RoleReceiver, WithLocalAddr("127.0.0.1:0"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rcv.Close()
 
 	cfgS := transport.Config{Mode: transport.ModeTACK, TransferBytes: size, CC: "cubic"}
-	snd, err := NewUDPSenderRunner(cfgS, "127.0.0.1:0", rcv.LocalAddr().String())
+	snd, err := NewUDPRunner(cfgS, RoleSender, WithLocalAddr("127.0.0.1:0"), WithPeer(rcv.LocalAddr().String()))
 	if err != nil {
 		t.Fatal(err)
 	}

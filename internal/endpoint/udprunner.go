@@ -94,25 +94,6 @@ func NewUDPRunner(cfg transport.Config, role Role, opts ...RunnerOption) (*UDPRu
 	return &UDPRunner{ep: ep, role: role, peer: o.peer}, nil
 }
 
-// NewUDPSenderRunner builds a sending endpoint bound to laddr,
-// transmitting to raddr.
-//
-// Deprecated: use NewUDPRunner(cfg, RoleSender, WithLocalAddr(laddr),
-// WithPeer(raddr)), or Endpoint.Dial to multiplex connections.
-func NewUDPSenderRunner(cfg transport.Config, laddr, raddr string) (*UDPRunner, error) {
-	return NewUDPRunner(cfg, RoleSender, WithLocalAddr(laddr), WithPeer(raddr))
-}
-
-// NewUDPReceiverRunner builds a receiving endpoint bound to laddr. The
-// peer is learned from the inbound handshake; raddr is accepted for
-// compatibility and ignored.
-//
-// Deprecated: use NewUDPRunner(cfg, RoleReceiver, WithLocalAddr(laddr)),
-// or Endpoint.Accept to serve many connections.
-func NewUDPReceiverRunner(cfg transport.Config, laddr, raddr string) (*UDPRunner, error) {
-	return NewUDPRunner(cfg, RoleReceiver, WithLocalAddr(laddr))
-}
-
 // LocalAddr returns the bound UDP address.
 func (r *UDPRunner) LocalAddr() *net.UDPAddr { return r.ep.LocalAddr() }
 

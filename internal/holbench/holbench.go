@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/tacktp/tack/internal/netem"
 	"github.com/tacktp/tack/internal/phy"
 	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/stream"
@@ -46,6 +47,14 @@ type Config struct {
 	// Loss is the WAN data-direction random loss rate (default 0.02).
 	// Negative selects a lossless run.
 	Loss float64
+	// BurstLoss layers Gilbert–Elliott burst loss on the WAN data
+	// direction (zero disables). Bursts clustered on short objects strand
+	// stream tails, so the recovery path — tail loss probe versus full
+	// RTO — dominates the high completion percentiles.
+	BurstLoss netem.GilbertElliott
+	// Detector selects the sender's loss detector (default RACK; set
+	// transport.DetectorDupThresh for the A/B baseline).
+	Detector transport.LossDetector
 	// RateBps is the WAN bottleneck rate (default 100 Mbit/s).
 	RateBps float64
 	// OWD is the WAN one-way propagation delay (default 10 ms).
@@ -97,8 +106,8 @@ type Result struct {
 	// indexed by object. An object completes when the application has
 	// read its final byte.
 	Completions []sim.Time
-	// P50, P95 and Max are nearest-rank percentiles over Completions.
-	P50, P95, Max sim.Time
+	// P50, P95, P99 and Max are nearest-rank percentiles over Completions.
+	P50, P95, P99, Max sim.Time
 	// GoodputBps is total object bytes over the last completion.
 	GoodputBps float64
 	// Fairness is Jain's index over per-object delivered bytes sampled
@@ -108,6 +117,9 @@ type Result struct {
 	// Retransmits counts transport-level retransmissions (the run must
 	// actually have been lossy to mean anything).
 	Retransmits int
+	// Timeouts, TLPProbes and RackMarked expose the sender's recovery-path
+	// counters, attributing tail recoveries to the probe or the RTO.
+	Timeouts, TLPProbes, RackMarked int
 }
 
 // percentile returns the nearest-rank p-th percentile of sorted d.
@@ -155,12 +167,14 @@ func Run(cfg Config) (Result, error) {
 		Mode:    transport.ModeTACK,
 		Streams: &scfg,
 		Metrics: cfg.Metrics,
+		Loss:    transport.LossDetection{Detector: cfg.Detector},
 	}
 	path, _, _, _ := topo.HybridPath(loop,
 		topo.WLANConfig{Standard: phy.Std80211n},
 		topo.WANConfig{
 			RateBps: cfg.RateBps, OWD: cfg.OWD,
 			QueueBytes: 256 << 10, DataLoss: cfg.Loss,
+			Impair: netem.Impairments{GE: cfg.BurstLoss},
 		})
 	flow, err := topo.NewFlow(loop, tcfg, path)
 	if err != nil {
@@ -302,12 +316,16 @@ func Run(cfg Config) (Result, error) {
 	res := Result{
 		Completions: completions,
 		Retransmits: flow.Sender.Stats.Retransmits,
+		Timeouts:    flow.Sender.Stats.Timeouts,
+		TLPProbes:   flow.Sender.Stats.TLPProbes,
+		RackMarked:  flow.Sender.Stats.RackMarked,
 		Fairness:    jain(fairSample),
 	}
 	sorted := append([]sim.Time(nil), completions...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	res.P50 = percentile(sorted, 0.50)
 	res.P95 = percentile(sorted, 0.95)
+	res.P99 = percentile(sorted, 0.99)
 	res.Max = sorted[len(sorted)-1]
 	if res.Max > 0 {
 		res.GoodputBps = float64(cfg.Objects*cfg.ObjectBytes) * 8 / res.Max.Seconds()

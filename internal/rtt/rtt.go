@@ -102,6 +102,64 @@ func (e *Estimate) RTO(minRTO, maxRTO, fallback sim.Time) sim.Time {
 	return rto
 }
 
+// DefaultSlidingMinSize is the default sample count of a SlidingMin window
+// (matching VPP's tcp_rack minrtt_window_size default).
+const DefaultSlidingMinSize = 8
+
+// SlidingMin tracks the minimum RTT over the last N samples — the RACK
+// reorder-window base (RFC 8985 §6.1.1). Unlike the time-windowed
+// Estimate.Min it forgets by sample count, so a route change flushes the
+// stale minimum after N acknowledgments regardless of elapsed time; RACK
+// wants "min of the last few RTTs, not a global minimum" (VPP tcp_rack.c
+// rack_get_minrtt_from_window).
+type SlidingMin struct {
+	window []sim.Time
+	next   int
+	filled int
+}
+
+// NewSlidingMin returns a sliding minimum over the last size samples
+// (size <= 0 selects DefaultSlidingMinSize).
+func NewSlidingMin(size int) *SlidingMin {
+	if size <= 0 {
+		size = DefaultSlidingMinSize
+	}
+	return &SlidingMin{window: make([]sim.Time, size)}
+}
+
+// Update folds in one RTT sample, evicting the oldest once the window is
+// full.
+func (m *SlidingMin) Update(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	m.window[m.next] = sample
+	m.next = (m.next + 1) % len(m.window)
+	if m.filled < len(m.window) {
+		m.filled++
+	}
+}
+
+// Min returns the smallest sample currently in the window; ok is false
+// before the first sample.
+func (m *SlidingMin) Min() (sim.Time, bool) {
+	if m.filled == 0 {
+		return 0, false
+	}
+	// Slots [0, filled) are exactly the populated ones: the window fills
+	// sequentially from 0 and wraps only once full.
+	min := m.window[0]
+	for i := 1; i < m.filled; i++ {
+		if m.window[i] < min {
+			min = m.window[i]
+		}
+	}
+	return min, true
+}
+
+// Samples returns how many samples currently populate the window.
+func (m *SlidingMin) Samples() int { return m.filled }
+
 // Sampler is the legacy sender-side estimator: RTT = ackArrival − dataSent,
 // with no correction for receiver-side ACK delay.
 type Sampler struct {

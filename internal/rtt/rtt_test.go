@@ -197,3 +197,28 @@ func TestBiasGapMatchesPaperShape(t *testing.T) {
 		t.Fatalf("bias gap %.1f%% implausibly small", gap*100)
 	}
 }
+
+func TestSlidingMinTracksWindowedMinimum(t *testing.T) {
+	m := NewSlidingMin(3)
+	if _, ok := m.Min(); ok {
+		t.Fatal("empty window must report no minimum")
+	}
+	m.Update(ms(40))
+	m.Update(ms(30))
+	m.Update(ms(50))
+	if got, _ := m.Min(); got != ms(30) {
+		t.Fatalf("Min = %v, want 30ms", got)
+	}
+	// Two more samples push the 30ms sample out of the 3-wide window.
+	m.Update(ms(45))
+	m.Update(ms(60))
+	if got, _ := m.Min(); got != ms(45) {
+		t.Fatalf("Min after eviction = %v, want 45ms", got)
+	}
+	// Non-positive samples are ignored, not folded in as zeros.
+	m.Update(0)
+	m.Update(-ms(5))
+	if got, _ := m.Min(); got != ms(45) {
+		t.Fatalf("Min after bogus samples = %v, want 45ms", got)
+	}
+}

@@ -49,6 +49,16 @@ type FlowSummary struct {
 	LossRanges, LossPackets int
 	LossLatency             *stats.Summary
 
+	// Sender-side loss-mark attribution: detector name (rack, dupthresh,
+	// rto) → segments marked lost, with the per-detector distribution of
+	// send-to-mark latency in seconds. Comparing the rack and dupthresh
+	// rows of the same scenario quantifies the recovery-latency delta
+	// between the detectors.
+	LossMarks   map[string]int
+	MarkLatency map[string]*stats.Summary
+	// TLPProbes counts tail loss probes fired by the sender.
+	TLPProbes int
+
 	// RTTMin is the smallest nonzero RTTmin carried by acknowledgments.
 	RTTMin sim.Time
 	// DeliveryBps is the average delivery rate computed from cumulative-ack
@@ -131,6 +141,8 @@ func Analyze(events []Event) *TraceSummary {
 				IACKTriggers: map[string]int{},
 				Anomalies:    map[string]int{},
 				LossLatency:  stats.NewSummary(),
+				LossMarks:    map[string]int{},
+				MarkLatency:  map[string]*stats.Summary{},
 			}
 			flows[id] = f
 		}
@@ -241,6 +253,17 @@ func Analyze(events []Event) *TraceSummary {
 			f.LossRanges++
 			f.LossPackets += int(e.Len)
 			f.LossLatency.Add(e.Value)
+		case KindLossMarked:
+			det := TriggerName(e.Trigger)
+			f.LossMarks[det]++
+			sm := f.MarkLatency[det]
+			if sm == nil {
+				sm = stats.NewSummary()
+				f.MarkLatency[det] = sm
+			}
+			sm.Add(e.Value)
+		case KindTLPProbe:
+			f.TLPProbes++
 		case KindLossEpisode:
 			f.LossEpisodes++
 		case KindRTOFired:
@@ -387,8 +410,25 @@ func (s *TraceSummary) String() string {
 				f.LossLatency.Percentile(50)*1e3, f.LossLatency.Percentile(95)*1e3,
 				f.LossLatency.Percentile(99)*1e3, f.LossLatency.Max()*1e3)
 		}
-		if f.RTOs > 0 || f.LossEpisodes > 0 {
-			fmt.Fprintf(&b, "  recovery: %d loss episodes, %d RTOs\n", f.LossEpisodes, f.RTOs)
+		if len(f.LossMarks) > 0 {
+			fmt.Fprintf(&b, "  loss marks by detector:\n")
+			dets := make([]string, 0, len(f.LossMarks))
+			for d := range f.LossMarks {
+				dets = append(dets, d)
+			}
+			sort.Strings(dets)
+			for _, d := range dets {
+				fmt.Fprintf(&b, "    %s: %d marked", d, f.LossMarks[d])
+				if sm := f.MarkLatency[d]; sm != nil && sm.Count() > 0 {
+					fmt.Fprintf(&b, "; send-to-mark ms p50=%.2f p95=%.2f max=%.2f",
+						sm.Percentile(50)*1e3, sm.Percentile(95)*1e3, sm.Max()*1e3)
+				}
+				b.WriteByte('\n')
+			}
+		}
+		if f.RTOs > 0 || f.LossEpisodes > 0 || f.TLPProbes > 0 {
+			fmt.Fprintf(&b, "  recovery: %d loss episodes, %d RTOs, %d TLP probes\n",
+				f.LossEpisodes, f.RTOs, f.TLPProbes)
 		}
 		if f.LastCwnd > 0 || f.LastPacing > 0 {
 			fmt.Fprintf(&b, "  cc: final cwnd %d bytes, pacing %.2f Mbit/s\n", f.LastCwnd, f.LastPacing/1e6)

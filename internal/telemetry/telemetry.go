@@ -107,6 +107,17 @@ const (
 	// on a regular acknowledgment.
 	KindStreamWindow
 
+	// KindLossMarked records the sender marking one segment lost, with the
+	// detector attributed in Trigger (TrigDetRACK / TrigDetDupThresh /
+	// TrigDetRTO): Seq=byte offset, PktSeq=the transmission the mark
+	// applies to, Len=segment bytes, Aux=reorder window ns (RACK only),
+	// Value=detection latency in seconds (mark time − last transmission).
+	KindLossMarked
+	// KindTLPProbe records a tail loss probe transmission: PktSeq=the
+	// probe's fresh packet number, Seq=probed byte offset, Len=segment
+	// bytes, Aux=the probe timeout that fired (ns).
+	KindTLPProbe
+
 	// KindAnomaly records an endpoint anomaly detector firing on a
 	// connection (and is the last event written into a flight-recorder
 	// post-mortem dump): Flow=ConnID, Trigger=anomaly class (TrigStall,
@@ -140,6 +151,9 @@ var kindNames = [numKinds]string{
 	KindStreamOpened: "stream_opened",
 	KindStreamClosed: "stream_closed",
 	KindStreamWindow: "stream_window",
+
+	KindLossMarked: "loss_marked",
+	KindTLPProbe:   "tlp_probe",
 
 	KindAnomaly: "anomaly",
 }
@@ -211,6 +225,18 @@ const (
 	// TrigMigStorm: repeated migration rejects (NAT rebind / roam) for
 	// one connection within the detection window.
 	TrigMigStorm
+
+	// Loss-detector attribution (KindLossMarked triggers): which machinery
+	// concluded the segment was lost.
+
+	// TrigDetRACK: RFC 8985 time-based detection (a later-sent segment was
+	// acked and the reorder window elapsed).
+	TrigDetRACK
+	// TrigDetDupThresh: duplicate-threshold detection — the legacy FACK
+	// byte-threshold scan, or TACK-mode receiver-reported unacked ranges.
+	TrigDetDupThresh
+	// TrigDetRTO: the retransmission timeout declared the segment lost.
+	TrigDetRTO
 )
 
 var triggerNames = [...]string{
@@ -227,10 +253,13 @@ var triggerNames = [...]string{
 	TrigRetrans:    "retrans",
 	TrigQueueFull:  "queuefull",
 	TrigRetryLimit: "retrylimit",
-	TrigStall:      "stall",
-	TrigRetxStorm:  "retx_storm",
-	TrigWndExhaust: "wnd_exhaust",
-	TrigMigStorm:   "mig_storm",
+	TrigStall:        "stall",
+	TrigRetxStorm:    "retx_storm",
+	TrigWndExhaust:   "wnd_exhaust",
+	TrigMigStorm:     "mig_storm",
+	TrigDetRACK:      "rack",
+	TrigDetDupThresh: "dupthresh",
+	TrigDetRTO:       "rto",
 }
 
 // TriggerName renders a trigger value ("none" for the zero value).
@@ -509,6 +538,29 @@ func (t *Tracer) LossDeclared(now sim.Time, flow uint32, lo, hi uint64, latency 
 	}
 	t.Emit(Event{Sim: now, Kind: KindLossDeclared, Flow: flow,
 		PktSeq: lo, Aux: hi, Len: int64(hi - lo), Value: latency.Seconds()})
+}
+
+// LossMarked records the sender marking one segment lost, attributed to a
+// detector (TrigDetRACK / TrigDetDupThresh / TrigDetRTO). reoWnd is the
+// RACK reorder window applied (0 for other detectors); latency is mark time
+// minus the segment's last transmission.
+func (t *Tracer) LossMarked(now sim.Time, flow uint32, detector uint8, seq, pktSeq uint64, n int, reoWnd, latency sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindLossMarked, Flow: flow, Trigger: detector,
+		Seq: seq, PktSeq: pktSeq, Len: int64(n), Aux: uint64(reoWnd), Value: latency.Seconds()})
+}
+
+// TLPProbe records a tail loss probe transmission: the highest-sequence
+// unacked segment re-sent as pktSeq after probe timeout pto elapsed with no
+// acknowledgment.
+func (t *Tracer) TLPProbe(now sim.Time, flow uint32, seq, pktSeq uint64, n int, pto sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindTLPProbe, Flow: flow,
+		Seq: seq, PktSeq: pktSeq, Len: int64(n), Aux: uint64(pto)})
 }
 
 // LossEpisode records the sender entering a loss episode.

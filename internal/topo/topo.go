@@ -89,6 +89,10 @@ type WANConfig struct {
 	// (paper §7 "handling reordering").
 	ReorderRate  float64
 	ReorderDelay sim.Time
+	// Impair layers the adversarial impairment models (Gilbert–Elliott
+	// burst loss, duplication, corruption, jitter) on the data direction;
+	// the zero value changes nothing.
+	Impair netem.Impairments
 }
 
 // links returns the per-direction netem configs for the WAN.
@@ -96,6 +100,7 @@ func (c WANConfig) links() (fwd, rev netem.Config) {
 	fwd, rev = netem.Symmetric(c.RateBps, c.OWD, c.QueueBytes, c.DataLoss, c.AckLoss)
 	fwd.ReorderRate = c.ReorderRate
 	fwd.ReorderDelay = c.ReorderDelay
+	fwd.Impair = c.Impair
 	return fwd, rev
 }
 

@@ -71,9 +71,16 @@ type Sender struct {
 	advertisedOldest uint64
 	lastOldestSync   sim.Time
 
+	// RACK-TLP loss detection (nil when the dup-thresh baseline is
+	// selected; see Config.Loss).
+	rack         *rackState
+	lastDataSend sim.Time // departure time of the most recent DATA emission
+
 	// Timers.
 	sendTimer  *sim.Timer
 	rtoTimer   *sim.Timer
+	rackTimer  *sim.Timer // pending RACK reorder-window deadline re-check
+	tlpTimer   *sim.Timer // tail loss probe
 	rtoBackoff int
 
 	// Stats and payload template.
@@ -90,6 +97,10 @@ type Sender struct {
 	mLossEpisodes *telemetry.Counter
 	mSYNRetrans   *telemetry.Counter
 	mRTT          *telemetry.Histogram
+	mRackMarked   *telemetry.Counter
+	mRackReorder  *telemetry.Counter
+	mReoWnd       *telemetry.Histogram
+	mTLPProbes    *telemetry.Counter
 
 	// OnDone fires once when the transfer completes (all bytes acked).
 	OnDone func()
@@ -126,9 +137,18 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 		mLossEpisodes: cfg.Metrics.Counter("snd.loss_episodes"),
 		mSYNRetrans:   cfg.Metrics.Counter("snd.syn_retransmits"),
 		mRTT:          cfg.Metrics.Histogram("snd.rtt_s"),
+		mRackMarked:   cfg.Metrics.Counter("snd.rack.marked_lost"),
+		mRackReorder:  cfg.Metrics.Counter("snd.rack.reorder_events"),
+		mReoWnd:       cfg.Metrics.Histogram("snd.rack.reo_wnd_s"),
+		mTLPProbes:    cfg.Metrics.Counter("snd.tlp.probes"),
+	}
+	if cfg.Loss.Detector == DetectorRACK {
+		s.rack = newRackState(cfg.Loss)
 	}
 	s.sendTimer = sim.NewTimer(loop, s.trySend)
 	s.rtoTimer = sim.NewTimer(loop, s.onRTO)
+	s.rackTimer = sim.NewTimer(loop, s.onRackTimer)
+	s.tlpTimer = sim.NewTimer(loop, s.onTLP)
 	if cfg.Streams != nil {
 		s.mux = stream.NewSendMux(*cfg.Streams, stream.SendDeps{
 			ConnID:  cfg.ConnID,
@@ -355,6 +375,7 @@ func (s *Sender) trySend() {
 	}
 	s.armSendTimer()
 	s.armRTO()
+	s.armTLP()
 }
 
 // nextChunk returns the size of the next new-data segment to send, or 0
@@ -524,6 +545,7 @@ func (s *Sender) retransmit(now sim.Time, seg *buffer.Segment) {
 
 func (s *Sender) emitData(p *packet.Packet, n int) {
 	now := s.loop.Now()
+	s.lastDataSend = now
 	s.pacer.OnSend(now, n)
 	s.Stats.DataPackets++
 	s.Stats.DataBytes += int64(n)
@@ -636,7 +658,15 @@ func (s *Sender) onRTO() {
 	s.tracer.LossEpisode(now, s.cfg.ConnID, s.inflight(), s.inflight(), true)
 	s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: s.inflight(), Inflight: s.inflight(), Timeout: true})
 	s.pacer.SetRate(now, s.ctrl.PacingRate())
+	if s.rack != nil {
+		// The timeout supersedes any pending tail probe; a new flight will
+		// re-arm it.
+		s.tlpTimer.Stop()
+		s.rack.tlpOut = false
+	}
 	if seg := s.buf.Oldest(); seg != nil {
+		s.tracer.LossMarked(now, s.cfg.ConnID, telemetry.TrigDetRTO,
+			seg.Seq, seg.PktSeq, seg.Len, 0, now-seg.SentAt)
 		s.retransmit(now, seg)
 	}
 	s.inRecovery = false
@@ -781,7 +811,13 @@ func (s *Sender) onAck(p *packet.Packet) {
 	_ = prevInflight
 
 	// --- Release acknowledged data. ---
-	s.buf.BeginRateSample()
+	var ackFloor sim.Time
+	if s.rack != nil {
+		if m, ok := s.rack.minRTT.Min(); ok {
+			ackFloor = m
+		}
+	}
+	s.buf.BeginRateSample(now, ackFloor)
 	if a.CumAck > s.cumAcked {
 		s.cumAcked = a.CumAck
 		s.rtoBackoff = 0
@@ -869,7 +905,30 @@ func (s *Sender) onAck(p *packet.Packet) {
 	}
 
 	// --- Loss handling. ---
+	if s.rack != nil {
+		// RACK deadlines bound a segment's age at ack *arrival*, so its RTT
+		// base keeps the receiver's ack hold (no Δt correction): under TACK
+		// thinning an ack legitimately arrives a full TACK interval after
+		// the corrected RTT, and a corrected base would age every segment
+		// sitting behind a held acknowledgment into a spurious loss mark.
+		rackSample := rttSample
+		if s.cfg.Mode == ModeTACK && a.EchoDeparture > 0 {
+			rackSample = now - a.EchoDeparture
+		}
+		if rackSample > 0 {
+			s.rack.onRTTSample(rackSample)
+		}
+		if s.rack.tlpOut && (s.largestAckedPkt >= s.rack.tlpHighPkt ||
+			s.buf.ByPktSeq(s.rack.tlpHighPkt) == nil) {
+			// The probe (or anything beyond it) was acknowledged, or its
+			// segment was released/superseded: the probe is answered.
+			s.rack.tlpOut = false
+		}
+	}
 	lostBytes := s.handleLossReports(now, a, p.IACK == packet.IACKLoss)
+	if s.rack != nil {
+		lostBytes += s.rackDetect(now)
+	}
 
 	// --- Delivery rate. ---
 	var deliveryRate float64
@@ -898,15 +957,7 @@ func (s *Sender) onAck(p *packet.Packet) {
 		Inflight:     s.inflight(),
 		AppLimited:   !s.streamRemaining() && s.buf.Len() == 0,
 	})
-	if lostBytes > 0 && !s.inRecovery {
-		s.inRecovery = true
-		s.recoverPkt = s.nextPktSeq
-		s.recoverSeq = s.nextSeq
-		s.Stats.LossEpisodes++
-		s.mLossEpisodes.Inc()
-		s.tracer.LossEpisode(now, s.cfg.ConnID, lostBytes, s.inflight(), false)
-		s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: lostBytes, Inflight: s.inflight()})
-	}
+	s.enterLossEpisode(now, lostBytes)
 	if s.inRecovery {
 		if (s.cfg.Mode == ModeTACK && s.largestAckedPkt >= s.recoverPkt) ||
 			(s.cfg.Mode == ModeLegacy && a.CumAck >= s.recoverSeq) {
@@ -936,6 +987,8 @@ func (s *Sender) onAck(p *packet.Packet) {
 		s.done = true
 		s.rtoTimer.Stop()
 		s.sendTimer.Stop()
+		s.rackTimer.Stop()
+		s.tlpTimer.Stop()
 		if s.OnDone != nil {
 			s.OnDone()
 		}
@@ -943,6 +996,128 @@ func (s *Sender) onAck(p *packet.Packet) {
 	}
 	s.lastDeliveredBytes = s.buf.ReleasedBytes()
 	s.trySend()
+}
+
+// enterLossEpisode opens a recovery episode and cuts the controller once
+// per flight of newly marked bytes (no-op while already in recovery).
+func (s *Sender) enterLossEpisode(now sim.Time, lostBytes int) {
+	if lostBytes <= 0 || s.inRecovery {
+		return
+	}
+	s.inRecovery = true
+	s.recoverPkt = s.nextPktSeq
+	s.recoverSeq = s.nextSeq
+	s.Stats.LossEpisodes++
+	s.mLossEpisodes.Inc()
+	s.tracer.LossEpisode(now, s.cfg.ConnID, lostBytes, s.inflight(), false)
+	s.ctrl.OnLoss(cc.Loss{Now: now, Bytes: lostBytes, Inflight: s.inflight()})
+}
+
+// rackDetect runs the RFC 8985 scan: every unacked segment sent at or
+// before the most recently delivered transmission whose age exceeds
+// RACK.rtt plus the adaptive reorder window is marked lost. Returns newly
+// marked bytes; when a candidate's deadline is still in the future the
+// re-check timer is armed at that deadline.
+func (s *Sender) rackDetect(now sim.Time) int {
+	if ev := s.rack.observeReorders(s.buf.ReorderEvents()); ev > 0 {
+		s.mRackReorder.Add(ev)
+	}
+	cutoff, cutoffPkt, ok := s.buf.RackState()
+	if !ok {
+		return 0
+	}
+	reoWnd := s.rack.reorderWindow()
+	deadline := s.rack.rackRTT(s.est().Smoothed()) + reoWnd
+	if s.cfg.Mode == ModeTACK {
+		// TACK thinning can hold an acknowledgment up to one TACK interval
+		// (~RTT/4) beyond the RTT the latest sample happened to observe;
+		// budget for the worst case like the probe timeout does, or every
+		// segment behind a fully-held ack ages into a spurious mark.
+		if m, ok := s.rack.minRTT.Min(); ok {
+			deadline += m / 4
+		}
+	}
+	lost := 0
+	sentAt, pending := s.buf.ScanRackLosses(cutoff, cutoffPkt, func(seg *buffer.Segment) bool {
+		if now-seg.SentAt < deadline {
+			return false
+		}
+		s.buf.MarkLoss(seg)
+		lost += seg.Len
+		s.Stats.RackMarked++
+		s.mRackMarked.Inc()
+		s.mReoWnd.Observe(reoWnd.Seconds())
+		s.tracer.LossMarked(now, s.cfg.ConnID, telemetry.TrigDetRACK,
+			seg.Seq, seg.PktSeq, seg.Len, reoWnd, now-seg.SentAt)
+		return true
+	})
+	if pending {
+		s.rackTimer.Reset(sentAt + deadline)
+	} else {
+		s.rackTimer.Stop()
+	}
+	return lost
+}
+
+// onRackTimer re-runs detection when a previously-too-young candidate's
+// reorder-window deadline arrives without an acknowledgment.
+func (s *Sender) onRackTimer() {
+	if s.rack == nil || s.done || !s.established {
+		return
+	}
+	now := s.loop.Now()
+	if lost := s.rackDetect(now); lost > 0 {
+		s.enterLossEpisode(now, lost)
+		s.pacer.SetRate(now, s.ctrl.PacingRate())
+		s.trySend()
+	}
+}
+
+// armTLP schedules the tail loss probe at ProbeTimeoutMult×SRTT after the
+// last transmission. The timer stays disarmed while nothing is in flight,
+// while marked segments already drive recovery, or while a probe is
+// outstanding (one-probe rule).
+func (s *Sender) armTLP() {
+	if s.rack == nil || s.cfg.Loss.DisableTLP {
+		return
+	}
+	if s.done || !s.established || s.buf.Len() == 0 || s.buf.HasMarked() || s.rack.tlpOut {
+		s.tlpTimer.Stop()
+		return
+	}
+	now := s.loop.Now()
+	min, _ := s.est().Min(now)
+	pto := s.rack.probeTimeout(s.est().Smoothed(), min)
+	s.rack.lastPTO = pto
+	at := s.lastDataSend + pto
+	if at <= now {
+		at = now + sim.Millisecond
+	}
+	s.tlpTimer.Reset(at)
+}
+
+// onTLP fires the tail loss probe: retransmit the newest unacked segment
+// (with a fresh packet number, so in TACK mode the receiver sees a PKT.SEQ
+// beyond the potentially-lost tail and raises a loss report), then restart
+// the RTO from the probe.
+func (s *Sender) onTLP() {
+	if s.rack == nil || s.done || !s.established || s.rack.tlpOut || s.buf.HasMarked() {
+		return
+	}
+	now := s.loop.Now()
+	seg := s.buf.Newest()
+	if seg == nil {
+		return // zero inflight: nothing to probe
+	}
+	s.retransmit(now, seg)
+	s.rack.tlpOut = true
+	s.rack.tlpHighPkt = seg.PktSeq // the fresh number retransmit assigned
+	s.Stats.TLPProbes++
+	s.mTLPProbes.Inc()
+	s.tracer.TLPProbe(now, s.cfg.ConnID, seg.Seq, seg.PktSeq, seg.Len, s.rack.lastPTO)
+	// RFC 8985 §7.3: the probe restarts the timeout so the RTO measures
+	// from the most recent transmission.
+	s.rtoTimer.ResetAfter(s.rto())
 }
 
 // handleLossReports marks segments lost per mode rules and returns the
@@ -957,17 +1132,25 @@ func (s *Sender) handleLossReports(now sim.Time, a *packet.AckInfo, lossIACK boo
 		}
 		for _, seg := range s.buf.MarkLossByPktRanges(ranges) {
 			lost += seg.Len
+			s.tracer.LossMarked(now, s.cfg.ConnID, telemetry.TrigDetDupThresh,
+				seg.Seq, seg.PktSeq, seg.Len, 0, now-seg.SentAt)
 		}
 		return lost
 	}
-	// Legacy FACK-style: a segment is lost when >= 3*MSS bytes above it
-	// have been sacked. One pass over the sacked region with precomputed
-	// suffix sums keeps per-ack cost O(segments below maxSacked + ranges).
+	if s.cfg.Loss.Detector == DetectorRACK {
+		// Legacy mode with RACK selected: the time-based scan replaces the
+		// FACK byte threshold (sacked ranges still release segments above).
+		return 0
+	}
+	// Legacy FACK-style: a segment is lost when >= DupThresh*MSS bytes
+	// above it have been sacked. One pass over the sacked region with
+	// precomputed suffix sums keeps per-ack cost
+	// O(segments below maxSacked + ranges).
 	maxSacked, ok := s.sacked.Max()
 	if !ok {
 		return 0
 	}
-	threshold := 3 * s.cfg.Payload
+	threshold := s.cfg.Loss.DupThresh * s.cfg.Payload
 	ranges := s.sacked.View() // read-only within this call
 	// suffix[i] = total sacked bytes in ranges[i:].
 	suffix := make([]int, len(ranges)+1)
@@ -1010,6 +1193,8 @@ func (s *Sender) handleLossReports(now sim.Time, a *packet.AckInfo, lossIACK boo
 	})
 	for _, seg := range marked {
 		lost += seg.Len
+		s.tracer.LossMarked(now, s.cfg.ConnID, telemetry.TrigDetDupThresh,
+			seg.Seq, seg.PktSeq, seg.Len, 0, now-seg.SentAt)
 	}
 	return lost
 }

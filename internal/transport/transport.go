@@ -31,6 +31,7 @@ import (
 	"github.com/tacktp/tack/internal/cc"
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/packet"
+	"github.com/tacktp/tack/internal/rtt"
 	"github.com/tacktp/tack/internal/sim"
 	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
@@ -59,6 +60,137 @@ func (m Mode) String() string {
 // DefaultPayload is the data payload size per packet, chosen so a DATA
 // frame occupies 1518 bytes on the wire like the paper's traffic.
 const DefaultPayload = 1439
+
+// LossDetector selects the sender-side loss detection machinery.
+type LossDetector int
+
+// Loss detectors.
+const (
+	// DetectorRACK is RFC 8985 time-based detection with Tail Loss Probes
+	// (the default): a segment is lost once a later-sent segment has been
+	// acknowledged and the segment's age exceeds the RACK RTT plus an
+	// adaptive reorder window.
+	DetectorRACK LossDetector = iota
+	// DetectorDupThresh is the duplicate-threshold baseline: in legacy mode
+	// the FACK-style 3×MSS sacked-above scan; in TACK mode the receiver's
+	// gap reports alone. No sender-side timers, no tail probes.
+	DetectorDupThresh
+)
+
+// String names the detector.
+func (d LossDetector) String() string {
+	if d == DetectorRACK {
+		return "rack"
+	}
+	return "dupthresh"
+}
+
+// Default reorder-window bounds (RFC 8985 §6.1.1 shape; the initial value
+// covers the pre-RTT-sample window where no adaptive base exists yet).
+const (
+	DefaultReorderWindowMin  = sim.Millisecond
+	DefaultReorderWindowMax  = 200 * sim.Millisecond
+	DefaultReorderWindowInit = 10 * sim.Millisecond
+)
+
+// DefaultProbeTimeoutMult is the default TLP probe timeout as a multiple of
+// the smoothed RTT (RFC 8985 §7.2: PTO ≈ 2×SRTT).
+const DefaultProbeTimeoutMult = 2.0
+
+// LossDetection groups the sender's loss-detection knobs, replacing the
+// scattered per-detector flags that would otherwise accrete on Config. The
+// zero value selects RACK-TLP with the RFC 8985 defaults.
+type LossDetection struct {
+	// Detector picks the machinery: DetectorRACK (default) or
+	// DetectorDupThresh for A/B comparison against the baseline.
+	Detector LossDetector
+	// ReorderWindowInit is the reorder window used before the first RTT
+	// sample exists (default 10 ms). Must lie within [Min, Max].
+	ReorderWindowInit sim.Time
+	// ReorderWindowMin / ReorderWindowMax clamp the adaptive reorder window
+	// (defaults 1 ms and 200 ms). The window starts at min-RTT/4 and widens
+	// multiplicatively when reordering is actually observed.
+	ReorderWindowMin, ReorderWindowMax sim.Time
+	// DisableTLP suppresses Tail Loss Probes, leaving RACK marking alone
+	// (ablation; tail losses then wait for the RTO).
+	DisableTLP bool
+	// ProbeTimeoutMult scales the TLP probe timeout in units of SRTT
+	// (default 2.0; values below 1 are rejected as they would probe inside
+	// one round trip).
+	ProbeTimeoutMult float64
+	// MinRTTWindow is the sliding min-RTT window size in samples (default
+	// rtt.DefaultSlidingMinSize): RACK's window base forgets by sample
+	// count so a route change flushes a stale minimum.
+	MinRTTWindow int
+	// DupThresh is the legacy detector's threshold in packets: a segment is
+	// lost once DupThresh×Payload bytes above it were sacked (default 3).
+	DupThresh int
+}
+
+func (l LossDetection) withDefaults() LossDetection {
+	if l.ReorderWindowMin <= 0 {
+		l.ReorderWindowMin = DefaultReorderWindowMin
+	}
+	if l.ReorderWindowMax <= 0 {
+		l.ReorderWindowMax = DefaultReorderWindowMax
+	}
+	if l.ReorderWindowInit <= 0 {
+		l.ReorderWindowInit = DefaultReorderWindowInit
+		// Keep the default init inside caller-narrowed bounds.
+		if l.ReorderWindowInit > l.ReorderWindowMax {
+			l.ReorderWindowInit = l.ReorderWindowMax
+		}
+		if l.ReorderWindowInit < l.ReorderWindowMin {
+			l.ReorderWindowInit = l.ReorderWindowMin
+		}
+	}
+	if l.ProbeTimeoutMult <= 0 {
+		l.ProbeTimeoutMult = DefaultProbeTimeoutMult
+	}
+	if l.MinRTTWindow <= 0 {
+		l.MinRTTWindow = rtt.DefaultSlidingMinSize
+	}
+	if l.DupThresh <= 0 {
+		l.DupThresh = 3
+	}
+	return l
+}
+
+// Validate rejects nonsense loss-detection bounds.
+func (l LossDetection) Validate() error {
+	if l.Detector != DetectorRACK && l.Detector != DetectorDupThresh {
+		return fmt.Errorf("transport: unknown loss detector %d", int(l.Detector))
+	}
+	if l.ReorderWindowMin < 0 || l.ReorderWindowMax < 0 || l.ReorderWindowInit < 0 {
+		return fmt.Errorf("transport: negative reorder window bound (min=%v max=%v init=%v)",
+			l.ReorderWindowMin, l.ReorderWindowMax, l.ReorderWindowInit)
+	}
+	if l.ReorderWindowMin > 0 && l.ReorderWindowMax > 0 && l.ReorderWindowMin > l.ReorderWindowMax {
+		return fmt.Errorf("transport: reorder window min %v above max %v",
+			l.ReorderWindowMin, l.ReorderWindowMax)
+	}
+	if l.ReorderWindowInit > 0 {
+		if l.ReorderWindowMin > 0 && l.ReorderWindowInit < l.ReorderWindowMin {
+			return fmt.Errorf("transport: initial reorder window %v below min %v",
+				l.ReorderWindowInit, l.ReorderWindowMin)
+		}
+		if l.ReorderWindowMax > 0 && l.ReorderWindowInit > l.ReorderWindowMax {
+			return fmt.Errorf("transport: initial reorder window %v above max %v",
+				l.ReorderWindowInit, l.ReorderWindowMax)
+		}
+	}
+	if l.ProbeTimeoutMult != 0 && l.ProbeTimeoutMult < 1 {
+		return fmt.Errorf("transport: probe timeout multiplier %v below 1 (would probe inside one RTT)",
+			l.ProbeTimeoutMult)
+	}
+	if l.MinRTTWindow < 0 {
+		return fmt.Errorf("transport: negative min-RTT window %d", l.MinRTTWindow)
+	}
+	if l.DupThresh < 0 {
+		return fmt.Errorf("transport: negative dup threshold %d", l.DupThresh)
+	}
+	return nil
+}
 
 // Config parameterizes a connection pair.
 type Config struct {
@@ -107,6 +239,10 @@ type Config struct {
 	// uncorrected legacy RTT estimator (Figure 6 ablation: "sampling"
 	// timing without the Δt correction).
 	LegacyTiming bool
+	// Loss groups the sender-side loss-detection knobs: which detector
+	// runs (RACK-TLP by default, dup-thresh for A/B baselines), the
+	// adaptive reorder-window bounds, and the TLP probe timeout.
+	Loss LossDetection
 	// AdaptiveSettle enables dynamic adjustment of the IACK reordering
 	// settle delay (the paper's §7 future work): the delay grows when
 	// spurious retransmissions appear (duplicates at the receiver, i.e.
@@ -187,6 +323,7 @@ func (c Config) withDefaults() Config {
 	} else if c.MaxSYNRetries < 0 {
 		c.MaxSYNRetries = 0
 	}
+	c.Loss = c.Loss.withDefaults()
 	return c
 }
 
@@ -199,6 +336,9 @@ func (c Config) withDefaults() Config {
 //   - Payload beyond the wire format's 16-bit length field (65535)
 //   - negative mechanism constants (β, L, Q, settle fraction)
 //   - negative RTO bounds, or MinRTO above MaxRTO when both are set
+//   - inconsistent LossDetection bounds (see LossDetection.Validate):
+//     negative or inverted reorder-window limits, an initial window outside
+//     them, a probe timeout multiplier below one SRTT, an unknown detector
 //   - an unknown protocol Mode or congestion-controller name
 //   - AppPaced combined with TransferBytes: a stream has exactly one
 //     termination authority — the application feed (AppPaced) or the byte
@@ -241,6 +381,9 @@ func (c Config) Validate() error {
 	if c.HandshakeRTO < 0 {
 		return fmt.Errorf("transport: negative HandshakeRTO %v", c.HandshakeRTO)
 	}
+	if err := c.Loss.Validate(); err != nil {
+		return err
+	}
 	if c.AppPaced && c.TransferBytes > 0 {
 		return fmt.Errorf("transport: AppPaced and TransferBytes=%d both set; a stream has one termination authority", c.TransferBytes)
 	}
@@ -281,6 +424,8 @@ type SenderStats struct {
 	BytesAcked     int64
 	RTTSyncsSent   int
 	SYNRetransmits int // SYNs re-sent under the handshake backoff schedule
+	RackMarked     int // segments marked lost by RACK time-based detection
+	TLPProbes      int // tail loss probes transmitted
 	// AckBytesReceived is the wire size of every ack-bearing packet
 	// absorbed (SYNACK/TACK/IACK/FINACK): the sender-side half of the
 	// ACK-overhead-per-delivered-MB accounting.

@@ -230,7 +230,11 @@ func TestDisableIACKSlowsLossRecovery(t *testing.T) {
 	// A fixed send rate keeps the inflow identical in both arms, so the
 	// blocked volume purely reflects how long holes linger.
 	run := func(disable bool) float64 {
-		cfg := Config{Mode: ModeTACK, DisableIACK: disable, CC: "static", RecvBuf: 64 << 20}
+		// Pin the dup-thresh detector: the ablation isolates the IACK
+		// notification path, and sender-side RACK marking would partially
+		// mask the recovery gap it measures.
+		cfg := Config{Mode: ModeTACK, DisableIACK: disable, CC: "static", RecvBuf: 64 << 20,
+			Loss: LossDetection{Detector: DetectorDupThresh}}
 		h := newHarness(t, 13, cfg, 20e6, ms(100), 0.01, 0)
 		h.snd.Start()
 		h.snd.Controller().(*cc.Static).SetRate(12e6)

@@ -15,12 +15,19 @@
 # endpoint throughput. The recorder is always on by default, so its cost
 # is gated: recorder-on goodput must stay within 5% of recorder-off.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json]
+# Also emits BENCH_rack.json: the loss-detector A/B (RACK-TLP vs the
+# duplicate-threshold baseline) over short objects under Gilbert–Elliott
+# burst loss from `tackbench rack -json`. Burst loss strands object
+# tails, so RACK's tail probe must beat the baseline's RTO wait at the
+# pooled p99 per-object completion; a run where it doesn't fails.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
 stream_out="${2:-BENCH_stream.json}"
 obs_out="${3:-BENCH_observability.json}"
+rack_out="${4:-BENCH_rack.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -100,3 +107,18 @@ END {
 }
 rm -f "$obs_raw"
 echo "observability bench OK: $obs_out"
+
+# Loss-detector A/B: deterministic in-sim run pooling many seeded
+# burst-loss fetches per arm. RACK-TLP recovers stranded tails with a
+# ~2×SRTT probe where the dup-thresh baseline waits out a full RTO, so
+# its pooled p99 completion must be strictly better; equal-or-worse is a
+# loss-detection regression.
+go run ./cmd/tackbench rack -json > "$rack_out"
+rack_p99="$(sed -n 's/.*"rack":{[^}]*"p99_ms":\([0-9.eE+-]*\).*/\1/p' "$rack_out")"
+dup_p99="$(sed -n 's/.*"dupthresh":{[^}]*"p99_ms":\([0-9.eE+-]*\).*/\1/p' "$rack_out")"
+echo "rack bench: p99 completion RACK ${rack_p99}ms vs dup-thresh ${dup_p99}ms"
+awk -v r="$rack_p99" -v d="$dup_p99" 'BEGIN { exit !(r + 0 > 0 && d + 0 > 0 && r + 0 < d + 0) }' || {
+    echo "rack bench FAILED: RACK p99 ${rack_p99}ms not better than dup-thresh ${dup_p99}ms (see $rack_out)" >&2
+    exit 1
+}
+echo "rack bench OK: $rack_out"

@@ -46,6 +46,13 @@ type (
 	// Params are the TACK acknowledgment-frequency parameters
 	// (β, L, q, settle fraction) carried in Config.Params.
 	Params = core.Params
+	// LossDetection groups the sender's loss-detection knobs carried in
+	// Config.Loss: the detector choice, the adaptive reorder-window
+	// bounds, and the tail-loss-probe timeout.
+	LossDetection = transport.LossDetection
+	// LossDetector names a loss-detection machinery (DetectorRACK or
+	// DetectorDupThresh) in LossDetection.Detector.
+	LossDetector = transport.LossDetector
 	// SenderStats / ReceiverStats are per-connection counters.
 	SenderStats = transport.SenderStats
 	// ReceiverStats mirrors SenderStats for the receiving half.
@@ -61,6 +68,16 @@ const (
 	ModeTACK = transport.ModeTACK
 	// ModeLegacy emulates a legacy TCP acknowledgment regime.
 	ModeLegacy = transport.ModeLegacy
+)
+
+// Loss detectors accepted by LossDetection.Detector.
+const (
+	// DetectorRACK is RFC 8985 time-based loss detection with tail loss
+	// probes (the default).
+	DetectorRACK = transport.DetectorRACK
+	// DetectorDupThresh is the duplicate-threshold baseline used for A/B
+	// comparison against RACK.
+	DetectorDupThresh = transport.DetectorDupThresh
 )
 
 // Endpoint surface (multi-connection UDP).
