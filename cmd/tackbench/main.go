@@ -10,6 +10,7 @@
 //	tackbench chaos [-conns 8] [-bytes 256K] [-seed 7]      # adversarial live soak
 //	tackbench mux [-objects 8] [-bytes 256K] [-json]        # stream multiplexing vs serialized
 //	tackbench rack [-objects 4] [-bytes 16K] [-json]        # RACK-TLP vs dup-thresh under burst loss
+//	tackbench swarm [-conns 10000] [-sockets 4] [-json]     # connection-scale swarm vs socket group
 //
 // Flags:
 //
@@ -33,7 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and ensembles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags] | mux [flags] | rack [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags] | mux [flags] | rack [flags] | swarm [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 	}
 	flag.Parse()
@@ -62,6 +63,9 @@ func main() {
 		return
 	case "rack":
 		rackCmd(args[1:])
+		return
+	case "swarm":
+		swarmCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

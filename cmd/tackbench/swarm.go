@@ -1,0 +1,400 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flag"
+
+	"github.com/tacktp/tack/internal/endpoint"
+	"github.com/tacktp/tack/internal/stats"
+	"github.com/tacktp/tack/internal/telemetry"
+	"github.com/tacktp/tack/internal/transport"
+)
+
+// swarmCmd is the connection-scale harness: one server endpoint (an
+// SO_REUSEPORT socket group when -sockets > 1) under a swarm of
+// connections from a pool of client endpoints, mixing three lifetimes:
+//
+//   - held connections (-conns): app-paced, keepalive-held, dialed during
+//     the ramp and then churned (-churn redials/held-conn/second) through
+//     the steady-state window — these measure connection-setup rate,
+//     handshake latency, and sustained concurrent-connection scale;
+//   - short transfers (-short workers × -bytes): continuous
+//     dial→transfer→teardown loops — full-lifecycle throughput;
+//   - long flows (-long × -long-bytes): bounded bulk transfers running
+//     for the whole window — steady-state aggregate goodput.
+//
+// Every client endpoint is its own UDP socket, so each contributes a
+// distinct 4-tuple and the kernel's reuseport flow hash can spread the
+// swarm across the server's socket group; a single client endpoint
+// would collapse onto one member and measure nothing.
+//
+//	tackbench swarm -conns 10000 -sockets 4 -duration 10s
+//	tackbench swarm -conns 2000 -duration 5s -json > BENCH_swarm.json
+//
+// scripts/bench_smoke.sh runs this twice (sockets=1 vs N) and gates the
+// multi-socket speedup on multi-core runners.
+func swarmCmd(args []string) {
+	fs := flag.NewFlagSet("swarm", flag.ExitOnError)
+	conns := fs.Int("conns", 10000, "held connections (app-paced, keepalive-held)")
+	sockets := fs.Int("sockets", 0, "server socket-group size (0 = min(4, GOMAXPROCS))")
+	shards := fs.Int("shards", 0, "server shard count (0 = endpoint default)")
+	clients := fs.Int("clients", 64, "client endpoints the held swarm is spread over")
+	dialers := fs.Int("dialers", 8, "concurrent dial workers per client endpoint during ramp")
+	churn := fs.Float64("churn", 0.05, "held-connection churn: this fraction redialed per second")
+	short := fs.Int("short", 32, "short-transfer workers (continuous dial→transfer→close loops)")
+	bytesStr := fs.String("bytes", "2K", "short-transfer size (K/M/G)")
+	long := fs.Int("long", 8, "long-lived bulk flows (each from its own client endpoint)")
+	longBytesStr := fs.String("long-bytes", "64M", "long-flow transfer size (K/M/G)")
+	duration := fs.Duration("duration", 10*time.Second, "steady-state window after the ramp")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-dial handshake deadline")
+	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
+	fs.Parse(args)
+
+	size, err := parseBytes(*bytesStr)
+	if err != nil {
+		fatal(err)
+	}
+	longBytes, err := parseBytes(*longBytesStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *sockets <= 0 {
+		*sockets = runtime.GOMAXPROCS(0)
+		if *sockets > 4 {
+			*sockets = 4
+		}
+	}
+
+	// The server's idle reaper must comfortably outlive both the ramp (an
+	// overloaded single-core run can take tens of seconds) and the
+	// keepalive cadence below; churn-closed conns leave via FIN teardown,
+	// not the reaper, so a generous floor costs nothing.
+	idle := 2 * *duration
+	if idle < 2*time.Minute {
+		idle = 2 * time.Minute
+	}
+	reg := telemetry.NewRegistry()
+	srv, err := endpoint.Listen("127.0.0.1:0", endpoint.Config{
+		Transport:        transport.Config{Mode: transport.ModeTACK, Metrics: reg},
+		Sockets:          *sockets,
+		Shards:           *shards,
+		AcceptBacklog:    4096,
+		IdleTimeout:      idle,
+		HandshakeTimeout: 15 * time.Second,
+		FlightRecorder:   -1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.LocalAddr().String()
+	go func() {
+		for {
+			if _, err := srv.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Client pools. Held conns send nothing after the handshake (app-paced
+	// source with no bytes); keepalives defeat the server's idle reaper.
+	mkPool := func(n int, tcfg transport.Config, keepalive time.Duration) []*endpoint.Endpoint {
+		pool := make([]*endpoint.Endpoint, n)
+		for i := range pool {
+			ep, err := endpoint.Listen("127.0.0.1:0", endpoint.Config{
+				Transport:         tcfg,
+				KeepaliveInterval: keepalive,
+				IdleTimeout:       -1,
+				HandshakeTimeout:  30 * time.Second,
+				FlightRecorder:    -1,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			pool[i] = ep
+		}
+		return pool
+	}
+	// A 5s keepalive keeps 10k held conns at ~2k background pps instead
+	// of 10k; the server's idle floor above dwarfs it.
+	heldPool := mkPool(*clients, transport.Config{Mode: transport.ModeTACK, AppPaced: true}, 5*time.Second)
+	shortPool := mkPool(max(1, *clients/8), transport.Config{Mode: transport.ModeTACK, TransferBytes: size}, 0)
+	longPool := mkPool(*long, transport.Config{Mode: transport.ModeTACK, TransferBytes: longBytes}, 0)
+	defer func() {
+		for _, p := range [][]*endpoint.Endpoint{heldPool, shortPool, longPool} {
+			for _, ep := range p {
+				ep.Close()
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		hs        = stats.NewSummary() // handshake latencies, seconds
+		dialErrs  atomic.Int64
+		churned   atomic.Int64
+		shortDone atomic.Int64
+		longDone  atomic.Int64
+		peakConns atomic.Int64
+	)
+	dial := func(ep *endpoint.Endpoint) (*endpoint.Conn, bool) {
+		t0 := time.Now()
+		c, err := ep.Dial(addr)
+		if err != nil {
+			dialErrs.Add(1)
+			return nil, false
+		}
+		d := time.Since(t0).Seconds()
+		mu.Lock()
+		hs.Add(d)
+		mu.Unlock()
+		return c, true
+	}
+
+	stop := make(chan struct{})
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Peak-concurrency sampler.
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if n := int64(srv.ConnCount()); n > peakConns.Load() {
+					peakConns.Store(n)
+				}
+			}
+		}
+	}()
+
+	// Long flows: each endpoint re-dials for the whole window; bytes from
+	// a flow cut off mid-transfer are credited from its final snapshot.
+	var longBytesMoved atomic.Int64
+	var loadWG sync.WaitGroup
+	for _, ep := range longPool {
+		loadWG.Add(1)
+		go func(ep *endpoint.Endpoint) {
+			defer loadWG.Done()
+			for !stopped() {
+				c, ok := dial(ep)
+				if !ok {
+					return
+				}
+				done := make(chan error, 1)
+				go func() { done <- c.Wait(10 * *duration) }()
+				select {
+				case err := <-done:
+					if err == nil {
+						longDone.Add(1)
+						longBytesMoved.Add(longBytes)
+					}
+				case <-stop:
+					if s := c.StateSnapshot(); s != nil {
+						longBytesMoved.Add(s.BytesAcked)
+					}
+					c.Close()
+					return
+				}
+			}
+		}(ep)
+	}
+
+	// Short transfers: full dial→transfer→teardown lifecycles.
+	for w := 0; w < *short; w++ {
+		loadWG.Add(1)
+		go func(ep *endpoint.Endpoint) {
+			defer loadWG.Done()
+			for !stopped() {
+				c, ok := dial(ep)
+				if !ok {
+					return
+				}
+				if err := c.Wait(*timeout); err == nil {
+					shortDone.Add(1)
+				} else {
+					c.Close()
+				}
+			}
+		}(shortPool[w%len(shortPool)])
+	}
+
+	// Ramp: dial the held swarm as fast as the pool allows and measure
+	// the connection-setup rate over it.
+	rampStart := time.Now()
+	held := make([][]*endpoint.Conn, len(heldPool))
+	var rampWG sync.WaitGroup
+	for i, ep := range heldPool {
+		target := *conns / len(heldPool)
+		if i < *conns%len(heldPool) {
+			target++
+		}
+		held[i] = make([]*endpoint.Conn, 0, target)
+		rampWG.Add(1)
+		go func(i int, ep *endpoint.Endpoint, target int) {
+			defer rampWG.Done()
+			var cmu sync.Mutex
+			var dwg sync.WaitGroup
+			sem := make(chan struct{}, *dialers)
+			for n := 0; n < target; n++ {
+				sem <- struct{}{}
+				dwg.Add(1)
+				go func() {
+					defer dwg.Done()
+					defer func() { <-sem }()
+					// One retry: under a saturated ramp a handshake
+					// timeout is congestion, not a verdict; a persistent
+					// failure still shows up in dial_errors.
+					c, ok := dial(ep)
+					if !ok {
+						c, ok = dial(ep)
+					}
+					if ok {
+						cmu.Lock()
+						held[i] = append(held[i], c)
+						cmu.Unlock()
+					}
+				}()
+			}
+			dwg.Wait()
+		}(i, ep, target)
+	}
+	rampWG.Wait()
+	rampElapsed := time.Since(rampStart)
+	heldOK := 0
+	for i := range held {
+		heldOK += len(held[i])
+	}
+	setupRate := float64(heldOK) / rampElapsed.Seconds()
+	if !*jsonOut {
+		fmt.Printf("ramp: %d/%d held conns in %v (%.0f conns/s, p99 handshake %.2f ms)\n",
+			heldOK, *conns, rampElapsed.Round(time.Millisecond), setupRate, hs.Percentile(99)*1e3)
+	}
+
+	// Steady state: hold the swarm for -duration while churning it.
+	steadyStart := time.Now()
+	var churnWG sync.WaitGroup
+	if *churn > 0 && heldOK > 0 {
+		interval := time.Duration(float64(time.Second) / (*churn * float64(heldOK)))
+		if interval < 200*time.Microsecond {
+			interval = 200 * time.Microsecond
+		}
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			next := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					i := next % len(held)
+					next++
+					if len(held[i]) == 0 {
+						continue
+					}
+					// Close the oldest held conn on this client and redial
+					// its replacement: a full open/close cycle through the
+					// socket group.
+					c := held[i][0]
+					held[i] = held[i][1:]
+					c.Close()
+					if nc, ok := dial(heldPool[i]); ok {
+						held[i] = append(held[i], nc)
+					}
+					churned.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(*duration)
+	close(stop)
+	churnWG.Wait()
+	loadWG.Wait()
+	samplerWG.Wait()
+	steadyElapsed := time.Since(steadyStart)
+
+	// Teardown the held swarm; goodput counts payload bytes moved by the
+	// transfer classes over the steady window (held conns carry none).
+	for i := range held {
+		for _, c := range held[i] {
+			c.Close()
+		}
+	}
+	bytesMoved := longBytesMoved.Load() + shortDone.Load()*size
+	goodputMBs := float64(bytesMoved) / 1e6 / steadyElapsed.Seconds()
+
+	s := reg.Snapshot()
+	perSock := map[string]int64{}
+	for i := 0; i < srv.SocketCount(); i++ {
+		perSock[fmt.Sprintf("sock%d", i)] = s.Counters[fmt.Sprintf("ep.sock.%d.rx_packets", i)]
+	}
+	mu.Lock()
+	doc := map[string]any{
+		"conns":             *conns,
+		"held_ok":           heldOK,
+		"sockets_requested": *sockets,
+		"sockets":           srv.SocketCount(),
+		"clients":           *clients,
+		"ramp_s":            rampElapsed.Seconds(),
+		"steady_s":          steadyElapsed.Seconds(),
+		"setup_rate_per_s":  setupRate,
+		"hs_p50_ms":         hs.Percentile(50) * 1e3,
+		"hs_p99_ms":         hs.Percentile(99) * 1e3,
+		"peak_conns":        peakConns.Load(),
+		"churned":           churned.Load(),
+		"short_done":        shortDone.Load(),
+		"long_done":         longDone.Load(),
+		"bytes_moved":       bytesMoved,
+		"goodput_mb_s":      goodputMBs,
+		"dial_errors":       dialErrs.Load(),
+		"server": map[string]int64{
+			"rx_packets":   s.Counters["ep.rx_packets"],
+			"rx_err":       s.Counters["ep.rx_err"],
+			"demux_drops":  s.Counters["ep.demux_drops"],
+			"accept_drops": s.Counters["ep.accept_drops"],
+			"reaped":       s.Counters["ep.reaped"],
+		},
+		"per_socket_rx": perSock,
+	}
+	mu.Unlock()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+		return
+	}
+	fmt.Printf("swarm sockets=%d(%d) conns=%d: setup %.0f/s, hs p50 %.2f ms p99 %.2f ms, peak %d conns\n",
+		srv.SocketCount(), *sockets, heldOK, setupRate,
+		hs.Percentile(50)*1e3, hs.Percentile(99)*1e3, peakConns.Load())
+	fmt.Printf("  steady %v: churn %d redials, %d short + %d long transfers, %.1f MB/s goodput, %d dial errors\n",
+		steadyElapsed.Round(time.Millisecond), churned.Load(), shortDone.Load(), longDone.Load(),
+		goodputMBs, dialErrs.Load())
+	fmt.Printf("  server: rx %d pkts (per-socket %v), rx_err %d, demux_drops %d, accept_drops %d\n",
+		s.Counters["ep.rx_packets"], perSock, s.Counters["ep.rx_err"],
+		s.Counters["ep.demux_drops"], s.Counters["ep.accept_drops"])
+	if dialErrs.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -51,8 +51,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tackd serve -listen :4500 [-flows 1] [-mode tack|legacy] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9090] [-postmortem dir]
-  tackd send  -to host:4500 -bytes 100M [-flows 1] [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9091] [-postmortem dir]`)
+  tackd serve -listen :4500 [-flows 1] [-sockets 4] [-mode tack|legacy] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9090] [-postmortem dir]
+  tackd send  -to host:4500 -bytes 100M [-flows 1] [-sockets 4] [-mode tack|legacy] [-cc bbr|cubic|...] [-trace out.jsonl] [-json] [-debug-addr 127.0.0.1:9091] [-postmortem dir]`)
 	os.Exit(2)
 }
 
@@ -188,6 +188,7 @@ func fatal(err error) {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":4500", "UDP listen address")
+	sockets := fs.Int("sockets", 1, "SO_REUSEPORT socket-group size (Linux; >1 scales inbound demux)")
 	flows := fs.Int("flows", 1, "connections to serve before exiting (0 = forever)")
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
@@ -206,13 +207,14 @@ func serve(args []string) {
 	}
 	cfg := tack.Config{Mode: parseMode(*mode), Tracer: sink.tracer(), Metrics: reg}
 	ep, err := tack.Listen(*listen, tack.EndpointConfig{
-		Transport: cfg, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
+		Transport: cfg, Sockets: *sockets, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer ep.Close()
-	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s, flows=%d)\n", ep.LocalAddr(), *mode, *flows)
+	fmt.Fprintf(os.Stderr, "tackd: listening on %s (mode=%s, flows=%d, sockets=%d)\n",
+		ep.LocalAddr(), *mode, *flows, ep.SocketCount())
 	if *debugAddr != "" {
 		fmt.Fprintf(os.Stderr, "tackd: debug endpoint on http://%s/\n", *debugAddr)
 	}
@@ -317,6 +319,7 @@ func printBatchStats(s telemetry.Snapshot) {
 func send(args []string) {
 	fs := flag.NewFlagSet("send", flag.ExitOnError)
 	to := fs.String("to", "", "server address host:port")
+	sockets := fs.Int("sockets", 1, "SO_REUSEPORT socket-group size (Linux; >1 scales inbound demux)")
 	bytesStr := fs.String("bytes", "64M", "transfer size per flow (K/M/G suffixes)")
 	flows := fs.Int("flows", 1, "concurrent connections")
 	mode := fs.String("mode", "tack", "protocol mode: tack or legacy")
@@ -353,7 +356,7 @@ func send(args []string) {
 		Tracer: sink.tracer(), Metrics: reg,
 	}
 	ep, err := tack.Listen(":0", tack.EndpointConfig{
-		Transport: cfg, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
+		Transport: cfg, Sockets: *sockets, DebugAddr: *debugAddr, PostMortemDir: *postmortem,
 	})
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/tacktp/tack/internal/endpoint"
+	"github.com/tacktp/tack/internal/telemetry"
 )
 
 func main() {
@@ -33,9 +34,11 @@ func main() {
 	flag.Parse()
 
 	url := "http://" + *addr + "/debug/tack/conns"
+	metricsURL := "http://" + *addr + "/debug/tack/metrics"
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	prev := map[uint32]endpoint.ConnState{}
+	var prevSnap telemetry.Snapshot
 	prevAt := time.Now()
 	for n := 0; *count == 0 || n < *count; n++ {
 		if n > 0 {
@@ -46,12 +49,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tackstat:", err)
 			os.Exit(1)
 		}
+		snap, err := pollMetrics(client, metricsURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tackstat:", err)
+			os.Exit(1)
+		}
 		now := time.Now()
 		if !*noClear {
 			fmt.Print("\033[2J\033[H")
 		}
+		renderSockets(snap, prevSnap, now.Sub(prevAt))
 		render(states, prev, now.Sub(prevAt))
 		prevAt = now
+		prevSnap = snap
 		prev = map[uint32]endpoint.ConnState{}
 		for _, s := range states {
 			prev[s.ConnID] = s
@@ -73,6 +83,50 @@ func poll(client *http.Client, url string) ([]endpoint.ConnState, error) {
 		return nil, fmt.Errorf("decode %s: %w", url, err)
 	}
 	return states, nil
+}
+
+// pollMetrics fetches the endpoint's full telemetry snapshot (the JSON
+// twin of /metrics), the source of the per-socket counters.
+func pollMetrics(client *http.Client, url string) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// renderSockets prints the socket-group table: per-member rx/tx packet
+// rates (counter deltas against the previous poll; the first poll shows
+// lifetime totals as the rate over the process's warm-up interval is
+// unknown) plus cumulative drops. A single-socket endpoint still gets
+// its one row — the same counters exist at every group size.
+func renderSockets(snap, prev telemetry.Snapshot, dt time.Duration) {
+	n := int(snap.Gauges["ep.sock.count"])
+	if n <= 0 {
+		return
+	}
+	fmt.Printf("%-8s %10s %10s %12s %12s %8s\n",
+		"SOCKET", "RX/s", "TX/s", "RX-PKTS", "TX-PKTS", "DROPS")
+	for i := 0; i < n; i++ {
+		rx := snap.Counters[fmt.Sprintf("ep.sock.%d.rx_packets", i)]
+		tx := snap.Counters[fmt.Sprintf("ep.sock.%d.tx_packets", i)]
+		drops := snap.Counters[fmt.Sprintf("ep.sock.%d.rx_drops", i)]
+		var rxRate, txRate float64
+		if prev.Counters != nil && dt > 0 {
+			rxRate = float64(rx-prev.Counters[fmt.Sprintf("ep.sock.%d.rx_packets", i)]) / dt.Seconds()
+			txRate = float64(tx-prev.Counters[fmt.Sprintf("ep.sock.%d.tx_packets", i)]) / dt.Seconds()
+		}
+		fmt.Printf("%-8d %10.0f %10.0f %12d %12d %8d\n", i, rxRate, txRate, rx, tx, drops)
+	}
+	fmt.Println()
 }
 
 // render prints the connection table. Rates come from byte-counter

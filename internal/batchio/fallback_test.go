@@ -1,0 +1,112 @@
+package batchio
+
+// Build-tag-neutral coverage of the portable (non-Linux) Reader/Writer
+// code paths. CI runs on Linux, where the batch syscalls are available
+// and the fallback is otherwise unreachable; DisableBatching forces it so
+// regressions in readSingle/writeSingle surface on every platform.
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// fallbackPair returns a reader-side and writer-side conn with batching
+// forced off, so every call below runs the portable path regardless of
+// platform.
+func fallbackPair(t *testing.T) (*Conn, *Conn, *net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	a, b := pair(t, "udp4", "127.0.0.1:0")
+	ca, cb := New(a), New(b)
+	ca.DisableBatching()
+	cb.DisableBatching()
+	if ca.Batched() || cb.Batched() {
+		t.Fatal("DisableBatching did not stick")
+	}
+	return ca, cb, a, b
+}
+
+// TestFallbackWriterChunks sends more messages than the writer's batch
+// size through the fallback path: writeSingle must deliver all of them
+// (the batch parameter only sizes syscall scratch, never a cap).
+func TestFallbackWriterChunks(t *testing.T) {
+	ca, cb, a, _ := fallbackPair(t)
+	w := cb.NewWriter(4)
+	r := ca.NewReader(8, 2048)
+
+	const count = 11 // deliberately not a multiple of the writer batch
+	ms := make([]Message, count)
+	for i := range ms {
+		ms[i].Buf = []byte(fmt.Sprintf("chunk-%02d", i))
+		ms[i].Addr = a.LocalAddr().(*net.UDPAddr)
+	}
+	sent, err := w.WriteBatch(ms)
+	if err != nil || sent != count {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", sent, err, count)
+	}
+
+	got := map[string]bool{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < count && time.Now().Before(deadline) {
+		a.SetReadDeadline(deadline)
+		batch, err := r.ReadBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fallback reader returns exactly one datagram per call.
+		if len(batch) != 1 {
+			t.Fatalf("fallback ReadBatch returned %d messages, want 1", len(batch))
+		}
+		got[string(batch[0].Buf[:batch[0].N])] = true
+	}
+	for i := 0; i < count; i++ {
+		if !got[fmt.Sprintf("chunk-%02d", i)] {
+			t.Fatalf("datagram %d never arrived (%d/%d)", i, len(got), count)
+		}
+	}
+}
+
+// TestFallbackWriteErrorIndex checks WriteBatch's error contract on the
+// portable path: on failure it reports how many datagrams were sent, and
+// the message at that index is the one that failed.
+func TestFallbackWriteErrorIndex(t *testing.T) {
+	_, cb, a, b := fallbackPair(t)
+	w := cb.NewWriter(4)
+	ms := make([]Message, 3)
+	for i := range ms {
+		ms[i].Buf = []byte{byte(i)}
+		ms[i].Addr = a.LocalAddr().(*net.UDPAddr)
+	}
+	b.Close() // writing through a closed socket fails at index 0
+	sent, err := w.WriteBatch(ms)
+	if err == nil {
+		t.Fatal("WriteBatch on a closed socket did not fail")
+	}
+	if sent != 0 {
+		t.Fatalf("WriteBatch reported %d sent before the failure, want 0", sent)
+	}
+}
+
+// TestFallbackReaderSourceAddr checks the portable read path reports the
+// sender's address (the batch path decodes sockaddrs by hand; the
+// fallback relies on net.UDPConn, and both must agree).
+func TestFallbackReaderSourceAddr(t *testing.T) {
+	ca, _, a, b := fallbackPair(t)
+	r := ca.NewReader(4, 2048)
+	if _, err := b.WriteToUDP([]byte("hello"), a.LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ms, err := r.ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || string(ms[0].Buf[:ms[0].N]) != "hello" {
+		t.Fatalf("unexpected batch %+v", ms)
+	}
+	want := b.LocalAddr().(*net.UDPAddr)
+	if ms[0].Addr == nil || ms[0].Addr.Port != want.Port || !ms[0].Addr.IP.Equal(want.IP) {
+		t.Fatalf("source addr %v, want %v", ms[0].Addr, want)
+	}
+}

@@ -1,0 +1,48 @@
+package batchio
+
+import (
+	"fmt"
+	"net"
+)
+
+// ReusePortSupported reports whether this platform can bind several UDP
+// sockets to one local address via SO_REUSEPORT (the socket-group fast
+// path). When false, ListenReusePortGroup degrades to a single socket.
+func ReusePortSupported() bool { return reusePortSupported }
+
+// ListenReusePortGroup binds n UDP sockets to the same local address with
+// SO_REUSEPORT set on each, so the kernel spreads inbound datagrams
+// across the group by flow hash (a given remote address:port always lands
+// on the same member socket). The first socket resolves a wildcard port
+// (":0"); the rest bind the concrete address it got.
+//
+// When n <= 1, or the platform lacks SO_REUSEPORT, the portable fallback
+// returns a single ordinarily-bound socket — callers size their loops off
+// len(result), never off n. On error no sockets are leaked.
+func ListenReusePortGroup(network, laddr string, n int) ([]*net.UDPConn, error) {
+	if n <= 1 || !reusePortSupported {
+		return listenSingle(network, laddr)
+	}
+	return listenReusePort(network, laddr, n)
+}
+
+// listenSingle is the portable one-socket path (no SO_REUSEPORT): the
+// behavior every platform had before socket groups existed.
+func listenSingle(network, laddr string) ([]*net.UDPConn, error) {
+	la, err := net.ResolveUDPAddr(network, laddr)
+	if err != nil {
+		return nil, fmt.Errorf("batchio: resolve %q: %w", laddr, err)
+	}
+	uc, err := net.ListenUDP(network, la)
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{uc}, nil
+}
+
+// closeAll releases a partially built group after a bind failure.
+func closeAll(socks []*net.UDPConn) {
+	for _, uc := range socks {
+		uc.Close()
+	}
+}

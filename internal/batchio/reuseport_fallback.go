@@ -1,0 +1,16 @@
+//go:build !linux
+
+package batchio
+
+import "net"
+
+// reusePortSupported disables socket groups where SO_REUSEPORT semantics
+// (kernel flow-hash spreading across equal binds) are not guaranteed;
+// ListenReusePortGroup returns a single ordinarily-bound socket instead.
+const reusePortSupported = false
+
+// listenReusePort is unreachable when reusePortSupported is false; it
+// defers to the portable single-socket path for safety.
+func listenReusePort(network, laddr string, n int) ([]*net.UDPConn, error) {
+	return listenSingle(network, laddr)
+}

@@ -1,0 +1,57 @@
+//go:build linux
+
+package batchio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported enables the socket-group fast path: Linux spreads
+// inbound datagrams across the SO_REUSEPORT group by 4-tuple hash.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package
+// (same value on every Linux architecture).
+const soReusePort = 0xf
+
+// listenReusePort binds n sockets to one address, all with SO_REUSEPORT
+// set before bind (the kernel requires every member of a group to carry
+// the flag, including the first).
+func listenReusePort(network, laddr string, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(_, _ string, rc syscall.RawConn) error {
+			var serr error
+			if err := rc.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	socks := make([]*net.UDPConn, 0, n)
+	addr := laddr
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, addr)
+		if err != nil {
+			closeAll(socks)
+			return nil, fmt.Errorf("batchio: reuseport socket %d/%d on %q: %w", i, n, addr, err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			pc.Close()
+			closeAll(socks)
+			return nil, fmt.Errorf("batchio: reuseport socket %d/%d: unexpected conn type %T", i, n, pc)
+		}
+		socks = append(socks, uc)
+		if i == 0 {
+			// Pin a wildcard port so the remaining members join the same
+			// group instead of each grabbing a fresh ephemeral port.
+			addr = uc.LocalAddr().String()
+		}
+	}
+	return socks, nil
+}

@@ -1,0 +1,95 @@
+package batchio
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestListenReusePortGroup binds a 4-socket group and checks the
+// structural invariants: every member shares one local port, and
+// datagrams sent from many distinct source ports all arrive somewhere in
+// the group (the kernel steers each source to exactly one member). On
+// platforms without SO_REUSEPORT the same call must degrade to a single
+// socket rather than fail.
+func TestListenReusePortGroup(t *testing.T) {
+	socks, err := ListenReusePortGroup("udp4", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(socks)
+	if !ReusePortSupported() {
+		if len(socks) != 1 {
+			t.Fatalf("fallback returned %d sockets, want 1", len(socks))
+		}
+		return
+	}
+	if len(socks) != 4 {
+		t.Fatalf("got %d sockets, want 4", len(socks))
+	}
+	port := socks[0].LocalAddr().(*net.UDPAddr).Port
+	for i, uc := range socks {
+		if p := uc.LocalAddr().(*net.UDPAddr).Port; p != port {
+			t.Fatalf("socket %d bound port %d, want %d (one group, one port)", i, p, port)
+		}
+	}
+
+	// 32 senders on distinct ephemeral ports, one datagram each. Every
+	// datagram must surface on exactly one group member.
+	const senders = 32
+	dst := socks[0].LocalAddr().(*net.UDPAddr)
+	for i := 0; i < senders; i++ {
+		c, err := net.DialUDP("udp4", nil, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	got := 0
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(5 * time.Second)
+	for got < senders && time.Now().Before(deadline) {
+		for _, uc := range socks {
+			uc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			for {
+				if _, _, err := uc.ReadFromUDP(buf); err != nil {
+					break
+				}
+				got++
+			}
+		}
+	}
+	if got != senders {
+		t.Fatalf("group received %d/%d datagrams", got, senders)
+	}
+}
+
+// TestListenReusePortGroupSingle checks that n=1 never takes the
+// reuseport path (it is the default, behavior-preserving shape).
+func TestListenReusePortGroupSingle(t *testing.T) {
+	socks, err := ListenReusePortGroup("udp4", "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(socks)
+	if len(socks) != 1 {
+		t.Fatalf("got %d sockets, want 1", len(socks))
+	}
+	// A second plain bind of the same address must fail: the single
+	// socket was bound without SO_REUSEPORT.
+	if dup, err := net.ListenUDP("udp4", socks[0].LocalAddr().(*net.UDPAddr)); err == nil {
+		dup.Close()
+		t.Fatal("re-binding a non-reuseport socket's address unexpectedly succeeded")
+	}
+}
+
+// TestListenReusePortGroupBadAddr checks the error path leaks nothing and
+// reports the resolve failure.
+func TestListenReusePortGroupBadAddr(t *testing.T) {
+	if _, err := ListenReusePortGroup("udp4", "not-an-address:99999999", 2); err == nil {
+		t.Fatal("expected an error for an unresolvable address")
+	}
+}

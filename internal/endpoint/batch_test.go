@@ -90,7 +90,7 @@ func TestBatchTelemetry(t *testing.T) {
 		} else if bmisses >= bgets {
 			t.Errorf("%s: egress buffer pool never hit (gets=%d misses=%d)", side.name, bgets, bmisses)
 		}
-		if srv.bconn.Batched() {
+		if srv.socks[0].bconn.Batched() {
 			// recvmmsg/sendmmsg platform: concurrent flows through one
 			// socket must produce at least one multi-datagram batch.
 			if rd.Max <= 1 && wr.Max <= 1 {

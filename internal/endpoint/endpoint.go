@@ -108,8 +108,21 @@ type Config struct {
 	// connections the Sender half, both built from this template.
 	Transport transport.Config
 	// Shards is the number of worker goroutines connections are pinned to
-	// (by ConnID hash). Default min(GOMAXPROCS, 8).
+	// (by ConnID hash). Default min(GOMAXPROCS, 8) rounded down to a
+	// power of two (a power-of-two count keeps the demux hot path on a
+	// mask instead of a modulo), and never below Sockets so every group
+	// member owns at least one shard's egress.
 	Shards int
+	// Sockets is the size of the endpoint's SO_REUSEPORT socket group: N
+	// UDP sockets bound to the same address, each with its own batched
+	// read loop, so inbound demux scales past one goroutine. Default 1
+	// (single socket, today's behavior). Values > 1 require platform
+	// support (Linux); elsewhere the endpoint silently falls back to one
+	// socket — read the effective size back with SocketCount. Connections
+	// are steered by ConnID to a shard wherever their packets arrive, and
+	// reply from the owning shard's socket (see DESIGN.md "Socket
+	// groups").
+	Sockets int
 	// AcceptBacklog bounds the handshake-gated accept queue (default 128).
 	// Connections completing their handshake while the queue is full are
 	// dropped and counted (ep.accept_drops).
@@ -164,10 +177,18 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Sockets < 1 {
+		c.Sockets = 1
+	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 		if c.Shards > 8 {
 			c.Shards = 8
+		}
+		c.Shards = floorPow2(c.Shards)
+		if c.Shards < c.Sockets {
+			// Every socket should own at least one shard's egress.
+			c.Shards = c.Sockets
 		}
 	}
 	if c.Shards < 1 {
@@ -231,15 +252,28 @@ func (c Config) handshakeRetryBudget() int {
 	}
 }
 
-// Endpoint is a multi-connection UDP endpoint: one socket, many
-// connections demultiplexed by ConnID across sharded worker loops.
+// floorPow2 rounds n down to the nearest power of two (minimum 1).
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// Endpoint is a multi-connection UDP endpoint: a socket group (one
+// socket by default), many connections demultiplexed by ConnID across
+// sharded worker loops.
 type Endpoint struct {
 	cfg   Config
-	conn  *net.UDPConn
-	bconn *batchio.Conn
+	socks []*epSocket
 
 	shards []*shard
-	accept chan *Conn
+	// shardMask is len(shards)-1 when the count is a power of two (the
+	// mask fast path of shardFor); shardPow2 gates it.
+	shardMask uint32
+	shardPow2 bool
+	accept    chan *Conn
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -265,8 +299,10 @@ type Endpoint struct {
 
 	// Endpoint telemetry (nil-safe).
 	mConns             *telemetry.Gauge
+	mSockets           *telemetry.Gauge
 	mRxPackets         *telemetry.Counter
 	mRxGarbage         *telemetry.Counter
+	mRxErrors          *telemetry.Counter
 	mRxCorrupt         *telemetry.Counter
 	mTxErrors          *telemetry.Counter
 	mDemuxDrops        *telemetry.Counter
@@ -313,40 +349,45 @@ func (ep *Endpoint) getBuf() *[]byte {
 // putBuf recycles an egress buffer (retaining any grown capacity).
 func (ep *Endpoint) putBuf(b *[]byte) { ep.bufPool.Put(b) }
 
-// Listen binds a UDP socket on laddr and starts the endpoint's read loop
-// and shard workers. The endpoint both accepts inbound connections
-// (Accept) and originates outbound ones (Dial) over the same socket.
+// Listen binds the endpoint's socket group on laddr (Config.Sockets
+// SO_REUSEPORT members; one plain socket by default) and starts a read
+// loop per socket plus the shard workers. The endpoint both accepts
+// inbound connections (Accept) and originates outbound ones (Dial) over
+// the same group.
 func Listen(laddr string, cfg Config) (*Endpoint, error) {
 	if err := cfg.Transport.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	la, err := net.ResolveUDPAddr("udp", laddr)
-	if err != nil {
-		return nil, fmt.Errorf("endpoint: resolve %q: %w", laddr, err)
-	}
-	sock, err := net.ListenUDP("udp", la)
+	socks, err := batchio.ListenReusePortGroup("udp", laddr, cfg.Sockets)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: listen %q: %w", laddr, err)
 	}
-	// One socket now carries many connections: grow the kernel buffers so
-	// concurrent initial windows don't silently vanish before the read
-	// loop drains them (best-effort; the OS may clamp).
-	sock.SetReadBuffer(4 << 20)
-	sock.SetWriteBuffer(4 << 20)
+	// The platform fallback may have clamped the group; everything below
+	// sizes off the effective count.
+	cfg.Sockets = len(socks)
 	ep := &Endpoint{
 		cfg:    cfg,
-		conn:   sock,
-		bconn:  batchio.New(sock),
 		accept: make(chan *Conn, cfg.AcceptBacklog),
 		stop:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		used:   map[uint32]*Conn{},
 	}
 	reg := cfg.Metrics
+	ep.socks = make([]*epSocket, len(socks))
+	for i, uc := range socks {
+		// The socket carries many connections: newEpSocket grows the
+		// kernel buffers so concurrent initial windows don't silently
+		// vanish before its read loop drains them (best-effort; the OS
+		// may clamp).
+		ep.socks[i] = newEpSocket(i, uc, reg)
+	}
 	ep.mConns = reg.Gauge("ep.conns")
+	ep.mSockets = reg.Gauge("ep.sock.count")
+	ep.mSockets.Set(float64(len(ep.socks)))
 	ep.mRxPackets = reg.Counter("ep.rx_packets")
 	ep.mRxGarbage = reg.Counter("ep.rx_garbage")
+	ep.mRxErrors = reg.Counter("ep.rx_err")
 	ep.mRxCorrupt = reg.Counter("ep.rx_corrupt")
 	ep.mTxErrors = reg.Counter("ep.tx_errors")
 	ep.mDemuxDrops = reg.Counter("ep.demux_drops")
@@ -381,53 +422,85 @@ func Listen(laddr string, cfg Config) (*Endpoint, error) {
 		return &b
 	}
 
+	// Shard→socket egress binding: shard i replies through socket
+	// i % Sockets, so a connection pinned to a shard always transmits
+	// from the same group member (reply-from-owner). Socket counts are
+	// powers of two in the defaulted path, but modulo is fine here —
+	// this runs once at setup, not per packet.
 	ep.shards = make([]*shard, cfg.Shards)
 	for i := range ep.shards {
-		ep.shards[i] = newShard(ep)
+		ep.shards[i] = newShard(ep, ep.socks[i%len(ep.socks)])
+	}
+	if n := uint32(len(ep.shards)); n&(n-1) == 0 {
+		ep.shardMask, ep.shardPow2 = n-1, true
 	}
 	for _, sh := range ep.shards {
 		ep.wg.Add(1)
 		go sh.run()
 	}
-	ep.wg.Add(1)
-	go ep.readLoop()
+	for _, s := range ep.socks {
+		ep.wg.Add(1)
+		go ep.readLoop(s)
+	}
 	return ep, nil
 }
 
-// LocalAddr returns the bound UDP address.
-func (ep *Endpoint) LocalAddr() *net.UDPAddr { return ep.conn.LocalAddr().(*net.UDPAddr) }
+// LocalAddr returns the bound UDP address (every socket-group member
+// shares it).
+func (ep *Endpoint) LocalAddr() *net.UDPAddr { return ep.socks[0].uc.LocalAddr().(*net.UDPAddr) }
 
 // ConnCount returns the number of live connections (including embryonic
 // and draining ones).
 func (ep *Endpoint) ConnCount() int { return int(ep.nConns.Load()) }
 
 // shardFor routes a connection id to its shard (Knuth multiplicative
-// hash; pure function, no lock — this is the demux hot path).
+// hash; pure function, no lock — this is the demux hot path, run by
+// every socket's read loop). Power-of-two shard counts — the defaulted
+// configuration — take the mask path; the xor-fold spreads the hash's
+// well-mixed high bits into the low bits the mask keeps.
 func (ep *Endpoint) shardFor(id uint32) *shard {
 	h := id * 2654435761
+	h ^= h >> 16
+	if ep.shardPow2 {
+		return ep.shards[h&ep.shardMask]
+	}
 	return ep.shards[h%uint32(len(ep.shards))]
 }
 
-// readLoop pulls datagram batches off the socket (one recvmmsg per batch
-// on Linux), decodes each into a pooled packet, and routes them to the
-// owning shard. Overflowing a shard's channel drops the packet
-// (backpressure surfaces as loss; the protocol recovers). The pooled
-// packet travels into the shard, which returns it to the freelist after
-// dispatch — the reader itself never allocates in steady state.
-func (ep *Endpoint) readLoop() {
+// readLoop pulls datagram batches off one socket-group member (one
+// recvmmsg per batch on Linux), decodes each into a pooled packet, and
+// routes them to the owning shard — which may be bound to a different
+// socket: accept-anywhere, reply-from-owner. Overflowing a shard's
+// channel drops the packet (backpressure surfaces as loss; the protocol
+// recovers). The pooled packet travels into the shard, which returns it
+// to the freelist after dispatch — the reader itself never allocates in
+// steady state.
+func (ep *Endpoint) readLoop(sock *epSocket) {
 	defer ep.wg.Done()
-	rd := ep.bconn.NewReader(readBatchSize, maxDatagram)
+	rd := sock.bconn.NewReader(readBatchSize, maxDatagram)
+	var backoff time.Duration
 	for {
 		ms, err := rd.ReadBatch()
 		if err != nil {
 			if ep.isClosed() || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			// Transient socket error: count as garbage and keep serving.
-			ep.mRxGarbage.Inc()
+			// Transient socket error: count it and retry with exponential
+			// backoff so a persistent failure (a wedged deadline, a bad
+			// fd) degrades to a throttled retry loop instead of spinning
+			// a core.
+			ep.mRxErrors.Inc()
+			backoff = nextReadBackoff(backoff)
+			select {
+			case <-ep.stop:
+				return
+			case <-time.After(backoff):
+			}
 			continue
 		}
+		backoff = 0
 		ep.mBatchRead.Observe(float64(len(ms)))
+		sock.mBatchRead.Observe(float64(len(ms)))
 		for i := range ms {
 			// The CRC32-C frame trailer (see frame.go) catches any
 			// userspace corruption of the datagram content; a mismatch
@@ -435,16 +508,19 @@ func (ep *Endpoint) readLoop() {
 			// the loss machinery like any other dropped packet.
 			if ms[i].N < frameTrailerLen {
 				ep.mRxGarbage.Inc()
+				sock.mDrops.Inc()
 				continue
 			}
 			body, ok := checkFrameCRC(ms[i].Buf[:ms[i].N])
 			if !ok {
 				ep.mRxCorrupt.Inc()
+				sock.mDrops.Inc()
 				continue
 			}
 			ipk := ep.getPacket()
 			if err := packet.DecodeInto(&ipk.pkt, body); err != nil {
 				ep.mRxGarbage.Inc()
+				sock.mDrops.Inc()
 				ep.putPacket(ipk)
 				continue
 			}
@@ -454,16 +530,19 @@ func (ep *Endpoint) readLoop() {
 			// fields reach protocol state (see packet.Sane).
 			if err := ipk.pkt.Sane(); err != nil {
 				ep.mRxCorrupt.Inc()
+				sock.mDrops.Inc()
 				ep.putPacket(ipk)
 				continue
 			}
 			ipk.setFrom(ms[i].Addr)
 			ep.mRxPackets.Inc()
+			sock.mRx.Inc()
 			sh := ep.shardFor(ipk.pkt.ConnID)
 			select {
 			case sh.in <- shardMsg{op: opPacket, ipk: ipk}:
 			default:
 				ep.mDemuxDrops.Inc()
+				sock.mDrops.Inc()
 				ep.putPacket(ipk)
 			}
 		}
@@ -624,13 +703,15 @@ func (ep *Endpoint) OnClose(fn func()) {
 	ep.hookMu.Unlock()
 }
 
-// Close shuts the endpoint down: the socket closes, shard workers finish
-// every connection (their Wait unblocks with ErrClosed), and Accept/Dial
-// return ErrClosed. Safe to call multiple times.
+// Close shuts the endpoint down: every group socket closes, shard
+// workers finish every connection (their Wait unblocks with ErrClosed),
+// and Accept/Dial return ErrClosed. Safe to call multiple times.
 func (ep *Endpoint) Close() error {
 	ep.closeOnce.Do(func() {
 		close(ep.stop)
-		ep.conn.Close()
+		for _, s := range ep.socks {
+			s.uc.Close()
+		}
 	})
 	ep.wg.Wait()
 	ep.hooksOnce.Do(func() {

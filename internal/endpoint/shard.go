@@ -32,7 +32,12 @@ type shardMsg struct {
 // is the egress queue: every output a connection emits lands here and is
 // coalesced into one batched write per work burst.
 type shard struct {
-	ep    *Endpoint
+	ep *Endpoint
+	// sock is the socket-group member this shard's egress is bound to:
+	// every connection the shard owns replies through it
+	// (reply-from-owner), regardless of which socket its inbound packets
+	// arrive on.
+	sock  *epSocket
 	in    chan shardMsg
 	conns map[uint32]*Conn
 
@@ -63,13 +68,14 @@ type shard struct {
 	kickCh chan struct{}
 }
 
-func newShard(ep *Endpoint) *shard {
+func newShard(ep *Endpoint, sock *epSocket) *shard {
 	return &shard{
 		ep:         ep,
+		sock:       sock,
 		in:         make(chan shardMsg, 1024),
 		conns:      map[uint32]*Conn{},
 		now:        time.Now(),
-		wr:         ep.bconn.NewWriter(egressBatchSize),
+		wr:         sock.bconn.NewWriter(egressBatchSize),
 		egress:     make([]batchio.Message, 0, egressBatchSize),
 		egressBufs: make([]*[]byte, 0, egressBatchSize),
 		kickCh:     make(chan struct{}, 1),
@@ -195,14 +201,18 @@ func (sh *shard) flush() {
 	}
 	ms := sh.egress
 	sh.ep.mBatchWrite.Observe(float64(len(ms)))
+	sh.sock.mBatchWrite.Observe(float64(len(ms)))
+	var txErrs int64
 	for sent := 0; sent < len(ms); {
 		n, err := sh.wr.WriteBatch(ms[sent:])
 		sent += n
 		if err != nil {
 			sh.ep.mTxErrors.Inc()
+			txErrs++
 			sent++
 		}
 	}
+	sh.sock.mTx.Add(int64(len(ms)) - txErrs)
 	for _, bp := range sh.egressBufs {
 		sh.ep.putBuf(bp)
 	}

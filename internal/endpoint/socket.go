@@ -1,0 +1,88 @@
+package endpoint
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tacktp/tack/internal/batchio"
+	"github.com/tacktp/tack/internal/telemetry"
+)
+
+// epSocket is one member of the endpoint's socket group: a UDP socket
+// with its own batched-I/O wrapper, read-loop goroutine, and per-socket
+// telemetry. With Config.Sockets == 1 (the default) the group has a
+// single member and the datapath is exactly the pre-group shape.
+//
+// Steering invariant (see DESIGN.md "Socket groups"): the kernel's
+// SO_REUSEPORT flow hash may deliver a connection's packets to any
+// member (accept-anywhere; a fixed 4-tuple always lands on the same
+// one), but the connection is pinned to the shard its ConnID hashes to,
+// and every reply leaves through that shard's bound socket
+// (reply-from-owner). All members share one local port, so the peer
+// observes a single stable address either way.
+type epSocket struct {
+	idx   int
+	uc    *net.UDPConn
+	bconn *batchio.Conn
+
+	// Per-socket telemetry (ep.sock.<idx>.*): receive/transmit packet
+	// counts, datagrams dropped before dispatch (garbage, corrupt, or
+	// shard-queue overflow), and syscall batch-size histograms — the
+	// inputs tackstat's socket table and any imbalance diagnosis need.
+	mRx         *telemetry.Counter
+	mTx         *telemetry.Counter
+	mDrops      *telemetry.Counter
+	mBatchRead  *telemetry.Histogram
+	mBatchWrite *telemetry.Histogram
+}
+
+// newEpSocket wraps one bound UDP socket for the group, growing its
+// kernel buffers (many connections share it) and registering the
+// per-socket instruments.
+func newEpSocket(idx int, uc *net.UDPConn, reg *telemetry.Registry) *epSocket {
+	uc.SetReadBuffer(4 << 20)
+	uc.SetWriteBuffer(4 << 20)
+	return &epSocket{
+		idx:         idx,
+		uc:          uc,
+		bconn:       batchio.New(uc),
+		mRx:         reg.Counter(socketCounterName(idx, "rx_packets")),
+		mTx:         reg.Counter(socketCounterName(idx, "tx_packets")),
+		mDrops:      reg.Counter(socketCounterName(idx, "rx_drops")),
+		mBatchRead:  reg.Histogram(socketCounterName(idx, "batch.read_size")),
+		mBatchWrite: reg.Histogram(socketCounterName(idx, "batch.write_size")),
+	}
+}
+
+// socketCounterName is the registered name of a per-socket instrument:
+// ep.sock.<idx>.<name>. Consumers (tackstat's socket table, tests)
+// reconstruct the group's names from ep.sock.count.
+func socketCounterName(idx int, name string) string {
+	return fmt.Sprintf("ep.sock.%d.%s", idx, name)
+}
+
+// SocketCount returns the effective socket-group size: Config.Sockets
+// after platform clamping (1 wherever SO_REUSEPORT is unavailable).
+func (ep *Endpoint) SocketCount() int { return len(ep.socks) }
+
+// Read-loop error backoff bounds. A persistent non-ErrClosed socket
+// error (e.g. a stuck deadline, an EBADF from fd mishandling) must not
+// busy-loop the reader at 100% CPU; retries back off exponentially from
+// readBackoffMin to readBackoffMax and reset on the first success.
+const (
+	readBackoffMin = time.Millisecond
+	readBackoffMax = 100 * time.Millisecond
+)
+
+// nextReadBackoff returns the delay to wait after a read error given the
+// previous delay (0 = first error since a successful read).
+func nextReadBackoff(prev time.Duration) time.Duration {
+	if prev < readBackoffMin {
+		return readBackoffMin
+	}
+	if prev >= readBackoffMax/2 {
+		return readBackoffMax
+	}
+	return prev * 2
+}

@@ -21,13 +21,21 @@
 # tails, so RACK's tail probe must beat the baseline's RTO wait at the
 # pooled p99 per-object completion; a run where it doesn't fails.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json]
+# Also emits BENCH_swarm.json: the connection-scale swarm harness
+# (`tackbench swarm`) run twice — single-socket vs an SO_REUSEPORT
+# socket group — gating the multi-socket speedup on connection-setup
+# rate and steady-state goodput. The stage needs real parallelism to
+# mean anything, so it auto-skips (writing {"skipped": true}) below 4
+# cores; override the detected core count with TACK_BENCH_CORES.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json] [swarm-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
 stream_out="${2:-BENCH_stream.json}"
 obs_out="${3:-BENCH_observability.json}"
 rack_out="${4:-BENCH_rack.json}"
+swarm_out="${5:-BENCH_swarm.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -122,3 +130,56 @@ awk -v r="$rack_p99" -v d="$dup_p99" 'BEGIN { exit !(r + 0 > 0 && d + 0 > 0 && r
     exit 1
 }
 echo "rack bench OK: $rack_out"
+
+# Socket-group swarm gate: 2k connections with churn, single socket vs a
+# reuseport group, compared on setup rate and goodput. Speedup from the
+# socket group requires cores to spread across; below 4 the comparison
+# measures scheduler noise, so skip (the artifact still records why).
+cores="${TACK_BENCH_CORES:-$(nproc 2>/dev/null || echo 1)}"
+if [ "$cores" -lt 4 ]; then
+    printf '{\n  "skipped": true,\n  "reason": "need >= 4 cores for a meaningful socket-group comparison, have %s"\n}\n' \
+        "$cores" > "$swarm_out"
+    echo "swarm bench SKIPPED ($cores cores < 4): $swarm_out"
+    exit 0
+fi
+swarm_sockets=4
+single_json="$(mktemp)"
+multi_json="$(mktemp)"
+trap 'rm -f "$raw" "$single_json" "$multi_json"' EXIT
+swarm_args="-conns 2000 -duration 5s -clients 32 -short 16 -long 4 -long-bytes 16M -json"
+go run ./cmd/tackbench swarm -sockets 1 $swarm_args > "$single_json"
+go run ./cmd/tackbench swarm -sockets "$swarm_sockets" $swarm_args > "$multi_json"
+# The platform may clamp the group (non-Linux): no comparison to gate.
+eff="$(sed -n 's/.*"sockets": \([0-9]*\).*/\1/p' "$multi_json" | head -1)"
+if [ "${eff:-1}" -le 1 ]; then
+    printf '{\n  "skipped": true,\n  "reason": "platform clamped the socket group to %s"\n}\n' \
+        "${eff:-1}" > "$swarm_out"
+    echo "swarm bench SKIPPED (no reuseport group): $swarm_out"
+    exit 0
+fi
+if ! python3 - "$single_json" "$multi_json" "$swarm_out" <<'EOF'
+import json, sys
+single = json.load(open(sys.argv[1]))
+multi = json.load(open(sys.argv[2]))
+setup_ratio = multi["setup_rate_per_s"] / max(single["setup_rate_per_s"], 1e-9)
+goodput_ratio = multi["goodput_mb_s"] / max(single["goodput_mb_s"], 1e-9)
+doc = {
+    "skipped": False,
+    "sockets": multi["sockets"],
+    "single": single,
+    "multi": multi,
+    "setup_rate_ratio": setup_ratio,
+    "goodput_ratio": goodput_ratio,
+}
+json.dump(doc, open(sys.argv[3], "w"), indent=2)
+print(f"swarm bench: setup {single['setup_rate_per_s']:.0f} -> {multi['setup_rate_per_s']:.0f}/s "
+      f"({setup_ratio:.2f}x), goodput {single['goodput_mb_s']:.1f} -> {multi['goodput_mb_s']:.1f} MB/s "
+      f"({goodput_ratio:.2f}x)", file=sys.stderr)
+ok = setup_ratio >= 1.2 and goodput_ratio >= 1.2
+sys.exit(0 if ok else 1)
+EOF
+then
+    echo "swarm bench FAILED: socket group < 1.2x single socket (see $swarm_out)" >&2
+    exit 1
+fi
+echo "swarm bench OK: $swarm_out"

@@ -27,7 +27,10 @@ trap cleanup EXIT
 go build -o "$workdir/tackd" ./cmd/tackd
 go build -o "$workdir/tackstat" ./cmd/tackstat
 
-"$workdir/tackd" serve -listen "127.0.0.1:$PORT" -flows 1 \
+# -sockets 2: the socket group's per-member counters must show up in
+# every scrape below (on non-reuseport platforms this clamps to 1 and
+# the assertions still hold for socket 0).
+"$workdir/tackd" serve -listen "127.0.0.1:$PORT" -flows 1 -sockets 2 \
     -debug-addr "$DEBUG" -postmortem "$workdir" 2> "$workdir/serve.log" &
 server_pid=$!
 
@@ -80,10 +83,15 @@ curl -sf "http://$DEBUG/debug/pprof/goroutine?debug=1" | grep -q goroutine || {
 }
 echo "debug smoke: /debug/pprof OK"
 
-# 4. tackstat must render a table from the live endpoint.
+# 4. tackstat must render the socket-group and connection tables.
 "$workdir/tackstat" -addr "$DEBUG" -count 1 -no-clear > "$workdir/tackstat.txt"
 grep -q "CONN" "$workdir/tackstat.txt" && grep -qi "receiver" "$workdir/tackstat.txt" || {
     echo "tackstat output missing the connection table:" >&2
+    cat "$workdir/tackstat.txt" >&2
+    exit 1
+}
+grep -q "SOCKET" "$workdir/tackstat.txt" || {
+    echo "tackstat output missing the per-socket table:" >&2
     cat "$workdir/tackstat.txt" >&2
     exit 1
 }
