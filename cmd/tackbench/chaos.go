@@ -23,7 +23,8 @@ import (
 //
 //	tackbench chaos -conns 8 -bytes 256K -seed 7
 //	tackbench chaos -ge-enter 0.05 -ge-exit 0.2 -corrupt 0.05 -json
-//	tackbench chaos -rebind 500ms        # NAT-timeout emulation: must fail cleanly
+//	tackbench chaos -rebind 500ms                # NAT-timeout emulation: must recover via path migration
+//	tackbench chaos -rebind 500ms -migrate=false # legacy behavior: reject the new address, fail cleanly
 //
 // The impairment decision sequence is deterministic per -seed (same seed ⇒
 // same drop/duplicate/corrupt/reorder verdicts in each direction), so a row
@@ -42,7 +43,8 @@ func chaosCmd(args []string) {
 	geEnter := fs.Float64("ge-enter", 0.02, "Gilbert–Elliott P(good→bad) per packet; 0 disables")
 	geExit := fs.Float64("ge-exit", 0.3, "Gilbert–Elliott P(bad→good) per packet")
 	geLoss := fs.Float64("ge-loss", 0.7, "Gilbert–Elliott loss rate in the bad state")
-	rebind := fs.Duration("rebind", 0, "rebind the server-facing socket after this long (0 = never); connections are expected to fail cleanly")
+	rebind := fs.Duration("rebind", 0, "rebind the server-facing socket after this long (0 = never); with -migrate the connections validate and adopt the new address, without it they fail cleanly")
+	migrate := fs.Bool("migrate", true, "enable path migration (PATH_CHALLENGE validation of rebound addresses); -migrate=false reproduces the legacy reject-and-stall behavior")
 	hrtoMs := fs.Float64("hrto", 50, "handshake retransmission timeout in ms")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-connection completion deadline")
 	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
@@ -67,6 +69,7 @@ func chaosCmd(args []string) {
 		Transport:        transport.Config{Mode: transport.ModeTACK, TransferBytes: size, Metrics: srvReg},
 		HandshakeTimeout: 30 * time.Second,
 		HandshakeRTO:     time.Duration(*hrtoMs * float64(time.Millisecond)),
+		EnableMigration:  *migrate,
 	})
 	if err != nil {
 		fatal(err)
@@ -83,6 +86,7 @@ func chaosCmd(args []string) {
 		Transport:        transport.Config{Mode: transport.ModeTACK, TransferBytes: size, Metrics: cliReg},
 		HandshakeTimeout: 30 * time.Second,
 		HandshakeRTO:     time.Duration(*hrtoMs * float64(time.Millisecond)),
+		EnableMigration:  *migrate,
 	})
 	if err != nil {
 		fatal(err)
@@ -98,11 +102,25 @@ func chaosCmd(args []string) {
 			go c.Wait(*timeout)
 		}
 	}()
+	start := time.Now()
+	// Pre/post-rebind delivery accounting: the shared server registry's
+	// data-packet counter is cumulative and survives connection teardown,
+	// so sampling it at the rebind instant splits delivery into before and
+	// after — the recovery gate in scripts/bench_smoke.sh compares the two
+	// rates.
+	var rebindMu sync.Mutex
+	var rebindAt time.Time
+	var pktsAtRebind int64
 	if *rebind > 0 {
-		time.AfterFunc(*rebind, func() { proxy.Rebind() })
+		time.AfterFunc(*rebind, func() {
+			rebindMu.Lock()
+			rebindAt = time.Now()
+			pktsAtRebind = srvReg.Counter("rcv.data_packets").Value()
+			rebindMu.Unlock()
+			proxy.Rebind()
+		})
 	}
 
-	start := time.Now()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	ok, failed := 0, 0
@@ -130,19 +148,40 @@ func chaosCmd(args []string) {
 	up, down := proxy.Stats()
 	goodput := float64(ok) * float64(size) * 8 / elapsed.Seconds() / 1e6
 
+	// Delivery rates either side of the rebind (packets/s; zero when the
+	// rebind never fired or the transfers finished before it).
+	var preRate, postRate float64
+	rebindMu.Lock()
+	if !rebindAt.IsZero() {
+		endPkts := srvReg.Counter("rcv.data_packets").Value()
+		if d := rebindAt.Sub(start).Seconds(); d > 0 {
+			preRate = float64(pktsAtRebind) / d
+		}
+		if d := elapsed - rebindAt.Sub(start); d > 0 {
+			postRate = float64(endPkts-pktsAtRebind) / d.Seconds()
+		}
+	}
+	rebindMu.Unlock()
+
 	if *jsonOut {
 		doc := map[string]any{
 			"conns": *conns, "bytes": size, "seed": *seed,
 			"ok": ok, "failed": failed, "errors": errs,
 			"elapsed_s": elapsed.Seconds(), "agg_goodput_mbps": goodput,
 			"rebinds":   proxy.Rebinds(),
-			"to_server": up, "to_client": down,
+			"migration": *migrate,
+			"pre_rebind_pkts_per_s":  preRate,
+			"post_rebind_pkts_per_s": postRate,
+			"to_server":              up, "to_client": down,
 			"server": map[string]int64{
-				"rx_corrupt":         srvReg.Counter("ep.rx_corrupt").Value(),
-				"rx_garbage":         srvReg.Counter("ep.rx_garbage").Value(),
-				"migration_rejected": srvReg.Counter("ep.migration_rejected").Value(),
-				"bad_feedback":       srvReg.Counter("ep.bad_feedback").Value(),
-				"synack_retransmits": srvReg.Counter("ep.synack_retransmits").Value(),
+				"rx_corrupt":          srvReg.Counter("ep.rx_corrupt").Value(),
+				"rx_garbage":          srvReg.Counter("ep.rx_garbage").Value(),
+				"migration_rejected":  srvReg.Counter("ep.migration_rejected").Value(),
+				"migration_probes":    srvReg.Counter("ep.migration.probes").Value(),
+				"migration_completed": srvReg.Counter("ep.migration.completed").Value(),
+				"migration_failed":    srvReg.Counter("ep.migration.failed").Value(),
+				"bad_feedback":        srvReg.Counter("ep.bad_feedback").Value(),
+				"synack_retransmits":  srvReg.Counter("ep.synack_retransmits").Value(),
 			},
 			"client": map[string]int64{
 				"syn_retransmits": cliReg.Counter("snd.syn_retransmits").Value(),
@@ -169,7 +208,15 @@ func chaosCmd(args []string) {
 	fmt.Printf("  client: syn_retx=%d rx_corrupt=%d rx_garbage=%d\n",
 		cliReg.Counter("snd.syn_retransmits").Value(), cliReg.Counter("ep.rx_corrupt").Value(),
 		cliReg.Counter("ep.rx_garbage").Value())
-	if failed > 0 && *rebind == 0 {
+	if proxy.Rebinds() > 0 {
+		fmt.Printf("  migration: probes=%d completed=%d failed=%d pre-rebind %.0f pkt/s post-rebind %.0f pkt/s\n",
+			srvReg.Counter("ep.migration.probes").Value(),
+			srvReg.Counter("ep.migration.completed").Value(),
+			srvReg.Counter("ep.migration.failed").Value(), preRate, postRate)
+	}
+	// With migration on, a rebind is no longer a license to fail: the
+	// connections are expected to validate the new path and finish.
+	if failed > 0 && (*rebind == 0 || *migrate) {
 		os.Exit(1)
 	}
 }

@@ -134,9 +134,9 @@ func renderSockets(snap, prev telemetry.Snapshot, dt time.Duration) {
 // show the lifetime average the endpoint computed instead.
 func render(states []endpoint.ConnState, prev map[uint32]endpoint.ConnState, dt time.Duration) {
 	fmt.Printf("tackstat  %s  conns=%d\n\n", time.Now().Format("15:04:05"), len(states))
-	fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7s %13s %9s %7s %s\n",
+	fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7s %13s %9s %7s %5s %s\n",
 		"CONN", "ROLE", "STATE", "RATE", "SRTT", "RTTMIN", "INFLIGHT", "RETX",
-		"ACK-HZ (TGT)", "OVHD/MB", "STREAMS", "ANOMALIES")
+		"ACK-HZ (TGT)", "OVHD/MB", "STREAMS", "MIG", "ANOMALIES")
 	for _, s := range states {
 		rate := s.DeliveryBps
 		if p, ok := prev[s.ConnID]; ok && dt > 0 {
@@ -155,13 +155,23 @@ func render(states []endpoint.ConnState, prev map[uint32]endpoint.ConnState, dt 
 		if anoms == "" {
 			anoms = "-"
 		}
-		fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7d %7.1f (%3s) %9.0f %7d %s\n",
+		// MIG: the migration state machine — validated-migration count,
+		// "prob" while a candidate address is under challenge, "rej"
+		// after one failed validation.
+		mig := fmt.Sprintf("%d", s.Migrations)
+		switch s.PathState {
+		case "probing":
+			mig = "prob"
+		case "rejected":
+			mig = "rej"
+		}
+		fmt.Printf("%-10s %-8s %-11s %9s %8s %8s %9s %7d %7.1f (%3s) %9.0f %7d %5s %s\n",
 			fmt.Sprintf("%08x", s.ConnID), s.Role, s.State,
 			rateStr(rate),
 			fmt.Sprintf("%.1fms", s.SRTTMs), fmt.Sprintf("%.1fms", s.RTTMinMs),
 			sizeStr(int64(s.InflightBytes)), retx,
 			s.AchievedAckHz, target,
-			s.AckOverheadBytesPerMB, s.Streams, anoms)
+			s.AckOverheadBytesPerMB, s.Streams, mig, anoms)
 	}
 }
 

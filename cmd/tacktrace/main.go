@@ -130,6 +130,9 @@ type jsonFlow struct {
 	RTOs             int                `json:"rtos"`
 	FinalCwnd        int64              `json:"final_cwnd_bytes,omitempty"`
 	FinalPacingBps   float64            `json:"final_pacing_bps,omitempty"`
+	Migrations       int                `json:"migrations,omitempty"`
+	PathChallenges   int                `json:"path_challenges,omitempty"`
+	MigrationRejects int                `json:"migration_rejects,omitempty"`
 	Anomalies        map[string]int     `json:"anomalies,omitempty"`
 }
 
@@ -169,6 +172,8 @@ func jsonDoc(s *telemetry.TraceSummary) jsonSummary {
 			LossRanges: f.LossRanges, LossPackets: f.LossPackets,
 			LossEpisodes: f.LossEpisodes, RTOs: f.RTOs,
 			FinalCwnd: f.LastCwnd, FinalPacingBps: f.LastPacing,
+			Migrations: f.Migrations, PathChallenges: f.PathChallenges,
+			MigrationRejects: f.MigrationRejects,
 		}
 		if len(f.Anomalies) > 0 {
 			jf.Anomalies = f.Anomalies

@@ -56,6 +56,23 @@ type Conn struct {
 	hsRetries int
 	nextHS    time.Time
 
+	// Path-migration state machine (shard-owned; see migration.go).
+	// migAddr is the candidate peer address under (or failed) validation;
+	// migRx/migTx are the anti-amplification byte counters of the current
+	// probing episode; migNext/migDeadline drive the challenge retransmit
+	// schedule on the lifecycle tick.
+	migState      pathState
+	migAddr       *net.UDPAddr
+	migToken      uint64
+	migRx         int64
+	migTx         int64
+	migRetries    int
+	migChallenges int
+	migNext       time.Time
+	migDeadline   time.Time
+	migStarted    time.Time
+	migCompleted  int64 // validated migrations over the connection's life
+
 	// kickQueued dedups pending stream kicks; guarded by sh.kickMu.
 	kickQueued bool
 

@@ -149,6 +149,16 @@ type Config struct {
 	// ErrHandshakeTimeout without waiting out HandshakeTimeout, and an
 	// embryo stops re-emitting SYNACKs. Negative disables retransmission.
 	MaxHandshakeRetries int
+	// EnableMigration turns on QUIC-style path validation for established
+	// connections: a known ConnID arriving from a new address starts a
+	// PATH_CHALLENGE probe of that address instead of being rejected
+	// outright, and a matching PATH_RESPONSE migrates the connection (see
+	// migration.go and DESIGN.md "Path migration"). Off by default: the
+	// connection stays bound to its handshake-time source address and
+	// foreign packets are rejected (ep.migration_rejected). Answering
+	// on-path challenges from the peer is always on — the knob gates only
+	// whether this endpoint initiates probes.
+	EnableMigration bool
 	// Metrics registers endpoint-level instruments (nil falls back to
 	// Transport.Metrics; both nil disables).
 	Metrics *telemetry.Registry
@@ -307,6 +317,9 @@ type Endpoint struct {
 	mTxErrors          *telemetry.Counter
 	mDemuxDrops        *telemetry.Counter
 	mMigrationRejected *telemetry.Counter
+	mMigProbes         *telemetry.Counter
+	mMigCompleted      *telemetry.Counter
+	mMigFailed         *telemetry.Counter
 	mSynackRetrans     *telemetry.Counter
 	mAcceptDrops       *telemetry.Counter
 	mBadFeedback       *telemetry.Counter
@@ -359,6 +372,13 @@ func Listen(laddr string, cfg Config) (*Endpoint, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.EnableMigration && cfg.IdleTimeout > 0 && cfg.IdleTimeout <= migrationTimeout {
+		// A probing episode starves the connection of dispatched packets
+		// for up to migrationTimeout; an idle reaper tighter than that
+		// would tear the connection down mid-validation.
+		return nil, fmt.Errorf("endpoint: IdleTimeout %v must exceed the %v path-validation window when EnableMigration is set",
+			cfg.IdleTimeout, migrationTimeout)
+	}
 	socks, err := batchio.ListenReusePortGroup("udp", laddr, cfg.Sockets)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: listen %q: %w", laddr, err)
@@ -392,6 +412,9 @@ func Listen(laddr string, cfg Config) (*Endpoint, error) {
 	ep.mTxErrors = reg.Counter("ep.tx_errors")
 	ep.mDemuxDrops = reg.Counter("ep.demux_drops")
 	ep.mMigrationRejected = reg.Counter("ep.migration_rejected")
+	ep.mMigProbes = reg.Counter("ep.migration.probes")
+	ep.mMigCompleted = reg.Counter("ep.migration.completed")
+	ep.mMigFailed = reg.Counter("ep.migration.failed")
 	ep.mSynackRetrans = reg.Counter("ep.synack_retransmits")
 	ep.mAcceptDrops = reg.Counter("ep.accept_drops")
 	ep.mBadFeedback = reg.Counter("ep.bad_feedback")

@@ -229,19 +229,32 @@ func (sh *shard) onPacket(p *packet.Packet, from *net.UDPAddr) {
 		return
 	}
 	if !addrEqual(from, c.peer) {
-		// No connection migration: the connection is bound to its
-		// handshake-time source address, so a known ConnID arriving from
-		// elsewhere — a NAT rebind, a Wi-Fi→cellular roam, or spoofing —
-		// is rejected. Observably: the counter, the per-conn tally (the
-		// migration-storm anomaly detector's input), and the trace event
-		// — recorded through the connection's flight recorder — let an
-		// operator distinguish "peer's address changed" from silent loss.
-		sh.ep.mMigrationRejected.Inc()
-		c.anom.migRejects++
-		c.trc().MigrationRejected(c.vnow(), c.id, p.PktSeq, p.EncodedLen())
+		// The connection is bound to its handshake-time source address; a
+		// known ConnID arriving from elsewhere — a NAT rebind, a
+		// Wi-Fi→cellular roam, or spoofing — must not be trusted as-is.
+		// With migration enabled the new address is challenged to prove
+		// it hosts the peer (see migration.go); otherwise, or after a
+		// failed challenge, it is rejected. Observably: the counter, the
+		// per-conn tally (the migration-storm anomaly detector's input),
+		// and the trace event — recorded through the connection's flight
+		// recorder — let an operator distinguish "peer's address changed"
+		// from silent loss.
+		sh.onForeignPacket(c, p, from)
 		return
 	}
 	c.lastRecv = sh.now
+	switch p.Type {
+	case packet.TypePathChallenge:
+		// The peer is validating this path (its view of our address
+		// changed): echo the token back. Path frames never reach the
+		// engines — they carry no sequence or acknowledgment state.
+		sh.onPathChallenge(c, p)
+		return
+	case packet.TypePathResponse:
+		// On-path response with no probe outstanding toward this address
+		// (we only probe *foreign* addresses): stale or duplicated. Drop.
+		return
+	}
 	c.advance()
 	if c.snd != nil {
 		if a := p.Ack; a != nil && a.CumAck > c.snd.SentSeq() {
@@ -394,6 +407,9 @@ func (sh *shard) tick() {
 		}
 		if sh.conns[c.id] != c {
 			continue // removed by a lifecycle arm above
+		}
+		if c.migState == pathProbing {
+			sh.migrationTick(c, now)
 		}
 		sh.detectAnomalies(c, now)
 		if refresh || c.snap.Load() == nil {

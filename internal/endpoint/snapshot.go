@@ -59,7 +59,11 @@ type ConnState struct {
 	Streams             int `json:"streams"`
 	StreamBufferedBytes int `json:"stream_buffered_bytes"`
 
-	// Robustness signals.
+	// Robustness signals. PathState is the migration state machine's
+	// position ("idle", "probing", "rejected"); Migrations counts
+	// validated path migrations over the connection's life.
+	PathState        string   `json:"path_state"`
+	Migrations       int64    `json:"migrations"`
 	MigrationRejects int64    `json:"migration_rejects"`
 	Anomalies        []string `json:"anomalies,omitempty"`
 	// FlightRecorded is the total number of events the connection's
@@ -200,6 +204,8 @@ func (sh *shard) buildState(c *Conn) *ConnState {
 			s.StreamBufferedBytes = m.Buffered()
 		}
 	}
+	s.PathState = c.migState.String()
+	s.Migrations = c.migCompleted
 	s.MigrationRejects = c.anom.migRejects
 	if len(c.anom.classes) > 0 {
 		s.Anomalies = append([]string(nil), c.anom.classes...)

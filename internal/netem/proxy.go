@@ -53,8 +53,11 @@ type ProxyDirStats struct {
 // Rebind closes and re-opens the server-facing socket mid-flow, changing
 // the source address the server observes for all subsequent datagrams —
 // the same thing a NAT mapping timeout or a Wi-Fi→cellular roam does to a
-// connection. The server's demux is expected to reject the "migrated"
-// traffic (counted by its ep.migration_rejected metric).
+// connection. A server with path migration enabled challenges the new
+// address (PATH_CHALLENGE through the proxy, answered by the client) and
+// adopts it once validated (ep.migration.completed); with migration
+// disabled it rejects the "migrated" traffic instead (counted by its
+// ep.migration_rejected metric) and the connection starves out.
 //
 // The proxy relays a single client (the most recent source address seen on
 // the client-facing socket); that is sufficient for endpoint tests, where

@@ -30,6 +30,8 @@ func FuzzUnmarshal(f *testing.F) {
 		{Type: TypeIACK, ConnID: 3, IACK: IACKLoss, Ack: &AckInfo{UnackedBlocks: []seqspace.Range{{Lo: 2, Hi: 3}}}},
 		{Type: TypeFIN, ConnID: 4, Seq: 1 << 30},
 		{Type: TypeFINACK, ConnID: 4, Ack: &AckInfo{CumAck: 1 << 30}},
+		{Type: TypePathChallenge, ConnID: 5, SentAt: 7, Token: 0x1122334455667788},
+		{Type: TypePathResponse, ConnID: 5, SentAt: 8, Token: 0x1122334455667788},
 	}
 	for _, p := range seeds {
 		f.Add(p.Marshal())

@@ -37,6 +37,13 @@ const (
 	TypeIACK         // instant, event-driven ACK
 	TypeFIN          // sender is done
 	TypeFINACK       // FIN acknowledgment
+	// TypePathChallenge probes a new peer address during path migration:
+	// the endpoint sends it to an unvalidated address carrying a
+	// crypto-random token the true owner must echo back.
+	TypePathChallenge
+	// TypePathResponse echoes a PATH_CHALLENGE token, proving the sender
+	// owns (is on-path at) the challenged address.
+	TypePathResponse
 )
 
 // String returns the conventional name of the type.
@@ -56,6 +63,10 @@ func (t Type) String() string {
 		return "FIN"
 	case TypeFINACK:
 		return "FINACK"
+	case TypePathChallenge:
+		return "PATH_CHALLENGE"
+	case TypePathResponse:
+		return "PATH_RESPONSE"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -200,6 +211,11 @@ type Packet struct {
 	// even when the data path is momentarily idle or window-starved.
 	AckOldestPktSeq uint64
 
+	// Token is the path-validation token (TypePathChallenge /
+	// TypePathResponse): a crypto-random 8-byte value a PATH_RESPONSE must
+	// echo verbatim from the challenged address to validate it.
+	Token uint64
+
 	// spareAck parks AckInfo storage across Reset/DecodeInto cycles while
 	// the packet carries no feedback block, so a pooled Packet alternating
 	// between data and ack datagrams stays allocation-free.
@@ -259,6 +275,8 @@ func (p *Packet) EncodedLen() int {
 		}
 	case TypeFIN:
 		n += 8 // final seq
+	case TypePathChallenge, TypePathResponse:
+		n += 8 // validation token
 	}
 	return n
 }
@@ -316,6 +334,8 @@ func (p *Packet) AppendMarshal(buf []byte) []byte {
 		}
 	case TypeFIN:
 		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	case TypePathChallenge, TypePathResponse:
+		buf = binary.BigEndian.AppendUint64(buf, p.Token)
 	}
 	return buf
 }
@@ -451,6 +471,12 @@ func DecodeInto(p *Packet, buf []byte) error {
 			return errTruncated
 		}
 		p.Seq = binary.BigEndian.Uint64(body)
+	case TypePathChallenge, TypePathResponse:
+		if len(body) < 8 {
+			p.Reset()
+			return errTruncated
+		}
+		p.Token = binary.BigEndian.Uint64(body)
 	default:
 		err := fmt.Errorf("packet: unknown type %d", buf[1])
 		p.Reset()

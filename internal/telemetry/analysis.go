@@ -84,6 +84,14 @@ type FlowSummary struct {
 	// trace is a post-mortem dump or the endpoint detectors fired.
 	Anomalies map[string]int
 
+	// Path migration: foreign-address packets rejected, PATH_CHALLENGEs
+	// sent while probing a candidate address, and validated migrations
+	// (the migration_rejected / path_challenge / migration_completed
+	// event kinds).
+	MigrationRejects int
+	PathChallenges   int
+	Migrations       int
+
 	started               bool
 	firstAckAt, lastAckAt sim.Time
 	firstCumAck           uint64
@@ -278,6 +286,12 @@ func Analyze(events []Event) *TraceSummary {
 			}
 		case KindAnomaly:
 			f.Anomalies[TriggerName(e.Trigger)]++
+		case KindMigrationRejected:
+			f.MigrationRejects++
+		case KindPathChallenge:
+			f.PathChallenges++
+		case KindMigrationCompleted:
+			f.Migrations++
 		}
 	}
 	for _, f := range flows {
@@ -432,6 +446,10 @@ func (s *TraceSummary) String() string {
 		}
 		if f.LastCwnd > 0 || f.LastPacing > 0 {
 			fmt.Fprintf(&b, "  cc: final cwnd %d bytes, pacing %.2f Mbit/s\n", f.LastCwnd, f.LastPacing/1e6)
+		}
+		if f.Migrations > 0 || f.PathChallenges > 0 || f.MigrationRejects > 0 {
+			fmt.Fprintf(&b, "  migration: %d completed (%d challenges sent), %d foreign packets rejected\n",
+				f.Migrations, f.PathChallenges, f.MigrationRejects)
 		}
 		if len(f.Anomalies) > 0 {
 			fmt.Fprintf(&b, "  ANOMALIES: %s\n", renderTriggers(f.Anomalies))

@@ -87,7 +87,8 @@ const (
 
 	// KindMigrationRejected records the endpoint demux dropping a packet
 	// whose source address differs from the connection's bound peer (NAT
-	// rebinding / roam; the endpoint does not support path migration):
+	// rebinding / roam) when path migration is disabled, or after a
+	// challenge for that address failed or timed out:
 	// Flow=ConnID, PktSeq=arriving packet number, Len=datagram bytes.
 	KindMigrationRejected
 
@@ -127,6 +128,20 @@ const (
 	// spent blocked; migration storm: rejects in the window).
 	KindAnomaly
 
+	// KindPathChallenge records the endpoint sending a PATH_CHALLENGE to
+	// an unvalidated candidate peer address during path migration:
+	// Flow=ConnID, Seq=challenge (re)send ordinal within the probing
+	// episode, Len=challenge bytes on the wire.
+	KindPathChallenge
+	// KindPathResponse records a matching PATH_RESPONSE arriving from the
+	// challenged address: Flow=ConnID, Len=datagram bytes.
+	KindPathResponse
+	// KindMigrationCompleted records a validated path migration — the
+	// connection's peer address switched to the challenged address and the
+	// congestion state was reset: Flow=ConnID, Seq=challenges sent during
+	// the probing episode, Aux=probing duration ns.
+	KindMigrationCompleted
+
 	numKinds
 )
 
@@ -156,6 +171,10 @@ var kindNames = [numKinds]string{
 	KindTLPProbe:   "tlp_probe",
 
 	KindAnomaly: "anomaly",
+
+	KindPathChallenge:      "path_challenge",
+	KindPathResponse:       "path_response",
+	KindMigrationCompleted: "migration_completed",
 }
 
 // String returns the event name used on the wire (JSONL "ev" field).
@@ -651,6 +670,37 @@ func (t *Tracer) MigrationRejected(now sim.Time, flow uint32, pktSeq uint64, byt
 	}
 	t.Emit(Event{Sim: now, Kind: KindMigrationRejected, Flow: flow,
 		PktSeq: pktSeq, Len: int64(bytes)})
+}
+
+// PathChallenge records a PATH_CHALLENGE (re)transmission to an
+// unvalidated candidate address: attempt is the challenge ordinal within
+// the probing episode (0 for the first send).
+func (t *Tracer) PathChallenge(now sim.Time, flow uint32, attempt, bytes int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindPathChallenge, Flow: flow,
+		Seq: uint64(attempt), Len: int64(bytes)})
+}
+
+// PathResponse records a PATH_RESPONSE with the correct token arriving
+// from the challenged address.
+func (t *Tracer) PathResponse(now sim.Time, flow uint32, bytes int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindPathResponse, Flow: flow, Len: int64(bytes)})
+}
+
+// MigrationCompleted records a validated path migration: challenges is how
+// many PATH_CHALLENGEs the probing episode sent, elapsed how long
+// validation took from the first foreign packet.
+func (t *Tracer) MigrationCompleted(now sim.Time, flow uint32, challenges int, elapsed sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindMigrationCompleted, Flow: flow,
+		Seq: uint64(challenges), Aux: uint64(elapsed)})
 }
 
 // StreamOpened records a stream coming into existence (remote=true when a

@@ -168,6 +168,19 @@ func (r *Receiver) FlushStreamWindows() {
 	r.sendAck(packet.TypeIACK, packet.IACKWindow, telemetry.TrigWindow, nil)
 }
 
+// OnPathMigration resets path-derived measurement state after a validated
+// path migration: the one-way-delay timing chain and the delivery-rate
+// filter both describe the old path, and feeding their stale maxima into
+// Eq. 3 would size the ack frequency (and the sender's model of the pipe)
+// for a network that is gone. Reassembly, loss and acknowledgment state
+// survive untouched — the byte stream is path-independent. rttMin is kept
+// as a prior until the sender's next RTT-sync IACK overwrites it from its
+// own reseeded estimator.
+func (r *Receiver) OnPathMigration() {
+	r.timing = rtt.NewReceiverTiming(0)
+	r.deliv = rate.NewDeliveryEstimator(sim.Second)
+}
+
 // Policy returns the acknowledgment discipline in force.
 func (r *Receiver) Policy() ackpolicy.Policy { return r.policy }
 

@@ -673,6 +673,37 @@ func (s *Sender) onRTO() {
 	s.rtoTimer.ResetAfter(s.rto())
 }
 
+// OnPathMigration resets congestion state after a validated path
+// migration. Everything the controller learned — cwnd, pacing rate, RTT
+// estimate, RTO backoff — describes a path that no longer exists, so the
+// controller is rebuilt at its initial (slow-start) state and both RTT
+// estimators are reseeded from scratch: a few RTTs of conservative ramp
+// on the new path instead of blasting it at the old path's rate. The send
+// buffer and all acknowledgment state are untouched — migration moves the
+// path, not the byte stream.
+func (s *Sender) OnPathMigration() {
+	now := s.loop.Now()
+	if ctrl, err := newController(s.cfg); err == nil {
+		s.ctrl = ctrl
+	}
+	s.timing = rtt.NewSenderTiming(0)
+	s.legacyRTT = rtt.NewSampler(0)
+	s.rtoBackoff = 0
+	s.inRecovery = false
+	s.pacer = pacing.New(s.ctrl.PacingRate(), 10*s.cfg.Payload)
+	if s.rack != nil {
+		// The reorder window was learned on the old path; the pending tail
+		// probe was timed against the old SRTT.
+		s.rack = newRackState(s.cfg.Loss)
+		s.tlpTimer.Stop()
+		s.rackTimer.Stop()
+	}
+	if s.buf.Len() > 0 {
+		s.rtoTimer.ResetAfter(s.rto())
+	}
+	s.sendTimer.Reset(now) // resume sending on the new path immediately
+}
+
 // OnPacket dispatches an arriving packet to the sender half.
 func (s *Sender) OnPacket(p *packet.Packet) {
 	switch p.Type {

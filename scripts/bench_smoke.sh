@@ -21,6 +21,12 @@
 # tails, so RACK's tail probe must beat the baseline's RTO wait at the
 # pooled p99 per-object completion; a run where it doesn't fails.
 #
+# Also emits BENCH_migration.json: the chaos harness with a mid-transfer
+# proxy Rebind and path migration enabled. Gates the recovery invariant:
+# every transfer completes (no idle-timeout starvation after the address
+# change) and post-rebind delivery rate recovers to at least 50% of the
+# pre-rebind rate.
+#
 # Also emits BENCH_swarm.json: the connection-scale swarm harness
 # (`tackbench swarm`) run twice — single-socket vs an SO_REUSEPORT
 # socket group — gating the multi-socket speedup on connection-setup
@@ -28,7 +34,7 @@
 # mean anything, so it auto-skips (writing {"skipped": true}) below 4
 # cores; override the detected core count with TACK_BENCH_CORES.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json] [swarm-output.json]
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json] [swarm-output.json] [migration-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
@@ -36,6 +42,7 @@ stream_out="${2:-BENCH_stream.json}"
 obs_out="${3:-BENCH_observability.json}"
 rack_out="${4:-BENCH_rack.json}"
 swarm_out="${5:-BENCH_swarm.json}"
+migration_out="${6:-BENCH_migration.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -130,6 +137,32 @@ awk -v r="$rack_p99" -v d="$dup_p99" 'BEGIN { exit !(r + 0 > 0 && d + 0 > 0 && r
     exit 1
 }
 echo "rack bench OK: $rack_out"
+
+# Post-rebind recovery gate: a mid-transfer address change (netem proxy
+# Rebind) with migration enabled must not strand a single connection,
+# and the delivery rate on the migrated path must come back to at least
+# half the pre-rebind rate — a validated migration that limps is a
+# congestion-reset or pacing regression even when it "works".
+go run ./cmd/tackbench chaos -conns 2 -bytes 16M -rebind 200ms -timeout 120s -json \
+    > "$migration_out"
+if ! python3 - "$migration_out" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+pre, post = d["pre_rebind_pkts_per_s"], d["post_rebind_pkts_per_s"]
+ratio = post / max(pre, 1e-9)
+srv = d["server"]
+print(f"migration bench: {d['ok']}/{d['conns']} ok, probes={srv['migration_probes']} "
+      f"completed={srv['migration_completed']} failed={srv['migration_failed']}, "
+      f"pre {pre:.0f} pkt/s -> post {post:.0f} pkt/s ({ratio:.2f}x)", file=sys.stderr)
+ok = (d["failed"] == 0 and d["rebinds"] >= 1
+      and srv["migration_completed"] >= 1 and ratio >= 0.5)
+sys.exit(0 if ok else 1)
+EOF
+then
+    echo "migration bench FAILED: rebind not survived or post-rebind rate < 50% of pre (see $migration_out)" >&2
+    exit 1
+fi
+echo "migration bench OK: $migration_out"
 
 # Socket-group swarm gate: 2k connections with churn, single socket vs a
 # reuseport group, compared on setup rate and goodput. Speedup from the

@@ -95,6 +95,13 @@ grep -q "SOCKET" "$workdir/tackstat.txt" || {
     cat "$workdir/tackstat.txt" >&2
     exit 1
 }
+# The migration column must render (count, or prob/rej while a path
+# validation is in flight) — it is how an operator sees a roaming peer.
+grep -q "MIG" "$workdir/tackstat.txt" || {
+    echo "tackstat output missing the MIG column:" >&2
+    cat "$workdir/tackstat.txt" >&2
+    exit 1
+}
 echo "debug smoke: tackstat OK"
 sed 's/^/  /' "$workdir/tackstat.txt"
 

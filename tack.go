@@ -86,7 +86,9 @@ type (
 	// connections demultiplexed by connection id across sharded loops.
 	Endpoint = endpoint.Endpoint
 	// EndpointConfig parameterizes an Endpoint (transport template,
-	// shard count, accept backlog, lifecycle timeouts).
+	// shard count, accept backlog, lifecycle timeouts, and the opt-in
+	// EnableMigration knob for QUIC-style path validation of peers whose
+	// address changes mid-flow).
 	EndpointConfig = endpoint.Config
 	// Conn is one connection multiplexed on an Endpoint.
 	Conn = endpoint.Conn
