@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tacktp/tack/internal/fec"
+	"github.com/tacktp/tack/internal/fecbench"
+	"github.com/tacktp/tack/internal/netem"
+	"github.com/tacktp/tack/internal/sim"
+)
+
+// fecCmd runs the forward-error-correction A/B benchmark behind
+// BENCH_fec.json: the Figure-11 projection workload (constant-frame-rate
+// video on one multiplexed stream, ~100 ms render deadline) over
+// Gilbert–Elliott burst loss, once ARQ-only and once with the FEC stream
+// class enabled. The RTT is chosen so a retransmission cannot make the
+// render deadline while an in-flight repair symbol can, so the
+// deadline-miss event delta isolates exactly what the repair path buys.
+//
+//	tackbench fec -seeds 5 -duration 30 -json
+func fecCmd(args []string) {
+	fs := flag.NewFlagSet("fec", flag.ExitOnError)
+	seeds := fs.Int("seeds", 5, "independent seeded runs pooled per arm")
+	durS := fs.Float64("duration", 30, "session length per run (simulated seconds)")
+	bitrate := fs.Float64("bitrate", 8e6, "video average bit rate (bits/s)")
+	deadline := fs.Int("deadline-frames", 6, "render budget in frame periods")
+	burstEnter := fs.Float64("burst-enter", 0.03, "Gilbert-Elliott good->bad probability per packet")
+	burstExit := fs.Float64("burst-exit", 0.5, "Gilbert-Elliott bad->good probability (1/mean burst length)")
+	groupLen := fs.Int("group", 12, "FEC group length (source symbols)")
+	overheadCap := fs.Float64("overhead-cap", 0.18, "FEC redundancy cap (repair/source ratio)")
+	jsonOut := fs.Bool("json", false, "emit a JSON result document on stdout")
+	fs.Parse(args)
+
+	type armResult struct {
+		Frames        int     `json:"frames"`
+		LateFrames    int     `json:"late_frames"`
+		Stalls        int     `json:"stalls"`
+		Events        int     `json:"events"`
+		Retransmits   int     `json:"retransmits"`
+		LinkDropped   int     `json:"link_dropped"`
+		Recovered     int     `json:"recovered"`
+		RepairsSent   int     `json:"repairs_sent"`
+		DataBytes     int64   `json:"data_bytes"`
+		RepairBytes   int64   `json:"repair_bytes"`
+		RebufferRatio float64 `json:"rebuffer_ratio"`
+	}
+	burst := netem.GilbertElliott{PEnterBad: *burstEnter, PExitBad: *burstExit}
+	run := func(opts *fec.Options) armResult {
+		var arm armResult
+		for s := 0; s < *seeds; s++ {
+			res, err := fecbench.Run(fecbench.Config{
+				BitrateBps:     *bitrate,
+				DeadlineFrames: *deadline,
+				Burst:          burst,
+				FEC:            opts,
+				Duration:       sim.Time(*durS * float64(sim.Second)),
+				Seed:           int64(s + 1),
+			})
+			if err != nil {
+				fatal(fmt.Errorf("fec bench seed %d: %w", s+1, err))
+			}
+			arm.Frames += res.Frames
+			arm.LateFrames += res.LateFrames
+			arm.Stalls += res.Stalls
+			arm.Events += res.Events
+			arm.Retransmits += res.Retransmits
+			arm.LinkDropped += res.LinkDropped
+			arm.Recovered += res.Recovered
+			arm.RepairsSent += res.RepairsSent
+			arm.DataBytes += res.DataBytes
+			arm.RepairBytes += res.RepairBytes
+			arm.RebufferRatio += res.RebufferRatio / float64(*seeds)
+		}
+		return arm
+	}
+
+	arq := run(nil)
+	fecArm := run(&fec.Options{
+		Scheme: fec.SchemeRS, GroupLen: *groupLen,
+		MaxOverhead: *overheadCap, Adaptive: true,
+	})
+	reduction := 0.0
+	if arq.Events > 0 {
+		reduction = 1 - float64(fecArm.Events)/float64(arq.Events)
+	}
+	overhead := 0.0
+	if sum := fecArm.DataBytes + fecArm.RepairBytes; sum > 0 {
+		overhead = float64(fecArm.RepairBytes) / float64(sum)
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Seeds          int       `json:"seeds"`
+			DurationS      float64   `json:"duration_s"`
+			BitrateBps     float64   `json:"bitrate_bps"`
+			DeadlineFrames int       `json:"deadline_frames"`
+			BurstEnter     float64   `json:"burst_enter"`
+			BurstExit      float64   `json:"burst_exit"`
+			MeanLoss       float64   `json:"mean_loss"`
+			GroupLen       int       `json:"group_len"`
+			OverheadCap    float64   `json:"overhead_cap"`
+			ARQ            armResult `json:"arq"`
+			FEC            armResult `json:"fec"`
+			EventReduction float64   `json:"event_reduction"`
+			ByteOverhead   float64   `json:"byte_overhead"`
+		}{
+			Seeds: *seeds, DurationS: *durS, BitrateBps: *bitrate,
+			DeadlineFrames: *deadline, BurstEnter: *burstEnter,
+			BurstExit: *burstExit, MeanLoss: burst.MeanLoss(),
+			GroupLen: *groupLen, OverheadCap: *overheadCap,
+			ARQ: arq, FEC: fecArm,
+			EventReduction: reduction, ByteOverhead: overhead,
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("fec: %d seeds × %.0fs video @ %.0f Mbit/s, burst enter=%.3f exit=%.2f (mean loss %.1f%%)\n",
+		*seeds, *durS, *bitrate/1e6, *burstEnter, *burstExit, burst.MeanLoss()*100)
+	fmt.Printf("  arq-only: %5d/%d late frames, %d stalls, %5d retransmits\n",
+		arq.LateFrames, arq.Frames, arq.Stalls, arq.Retransmits)
+	fmt.Printf("  fec     : %5d/%d late frames, %d stalls, %5d retransmits, %d recovered of %d dropped\n",
+		fecArm.LateFrames, fecArm.Frames, fecArm.Stalls, fecArm.Retransmits,
+		fecArm.Recovered, fecArm.LinkDropped)
+	fmt.Printf("  deadline-miss event reduction: %.1f%%  byte overhead: %.1f%%\n",
+		reduction*100, overhead*100)
+}

@@ -11,6 +11,7 @@
 //	tackbench mux [-objects 8] [-bytes 256K] [-json]        # stream multiplexing vs serialized
 //	tackbench rack [-objects 4] [-bytes 16K] [-json]        # RACK-TLP vs dup-thresh under burst loss
 //	tackbench swarm [-conns 10000] [-sockets 4] [-json]     # connection-scale swarm vs socket group
+//	tackbench fec [-seeds 5] [-duration 30] [-json]         # FEC stream class vs ARQ-only under burst loss
 //
 // Flags:
 //
@@ -34,7 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations and ensembles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags] | mux [flags] | rack [flags] | swarm [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: tackbench [-quick] [-seed N] list | all | <fig-id>... | run [flags] | chaos [flags] | mux [flags] | rack [flags] | swarm [flags] | fec [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 	}
 	flag.Parse()
@@ -66,6 +67,9 @@ func main() {
 		return
 	case "swarm":
 		swarmCmd(args[1:])
+		return
+	case "fec":
+		fecCmd(args[1:])
 		return
 	case "all":
 		ids = experiments.IDs()

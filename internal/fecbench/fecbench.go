@@ -1,0 +1,264 @@
+// Package fecbench measures what forward error correction buys a
+// deadline-driven video stream that ARQ alone cannot: recovery without
+// the feedback loop.
+//
+// The workload is the paper's Figure-11 projection scenario re-run over
+// an emulated WAN with Gilbert–Elliott burst loss: a constant-frame-rate
+// video source writes each encoded frame onto one multiplexed stream,
+// and a playout model renders frame i at its deadline — complete frames
+// render clean, incomplete ones render corrupted (macroblocking). With
+// a ~50 ms RTT and a ~100 ms render budget, a lost packet recovered by
+// retransmission costs at least loss-detection time plus a round trip
+// and blows the deadline; a packet recovered from a repair symbol
+// already in flight costs nothing. The A/B arms differ only in
+// StreamOptions.FEC, so the event delta is attributable to the repair
+// path alone.
+package fecbench
+
+import (
+	"fmt"
+
+	"github.com/tacktp/tack/internal/fec"
+	"github.com/tacktp/tack/internal/netem"
+	"github.com/tacktp/tack/internal/sim"
+	"github.com/tacktp/tack/internal/stream"
+	"github.com/tacktp/tack/internal/topo"
+	"github.com/tacktp/tack/internal/transport"
+	"github.com/tacktp/tack/internal/video"
+)
+
+// Config parameterizes one run. The zero value of any field selects the
+// default noted on it.
+type Config struct {
+	// BitrateBps is the video source's average bit rate (default 8 Mbit/s).
+	BitrateBps float64
+	// FPS is the source frame rate (default 60).
+	FPS int
+	// DeadlineFrames is the render budget in frame periods: frame i must be
+	// fully delivered within this many frame intervals of its encode time
+	// or it renders corrupted (default 6 ≈ 100 ms at 60 fps).
+	DeadlineFrames int
+	// RateBps is the WAN bottleneck rate (default 20 Mbit/s).
+	RateBps float64
+	// OWD is the WAN one-way propagation delay (default 25 ms).
+	OWD sim.Time
+	// QueueBytes is the bottleneck queue depth (default 1 MiB: deep enough
+	// that the only losses are the configured burst-loss model's).
+	QueueBytes int
+	// Burst is the Gilbert–Elliott burst-loss model on the data direction
+	// (default enter 0.03 / exit 0.5 ≈ 5.7% mean loss in 2-packet bursts,
+	// the paper's 5–10% regime).
+	Burst netem.GilbertElliott
+	// FEC opts the video stream into forward error correction; nil runs
+	// the ARQ-only baseline arm.
+	FEC *fec.Options
+	// Duration is the simulated session length (default 30 s).
+	Duration sim.Time
+	// Seed seeds the simulation (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BitrateBps == 0 {
+		c.BitrateBps = 8e6
+	}
+	if c.FPS == 0 {
+		c.FPS = 60
+	}
+	if c.DeadlineFrames == 0 {
+		c.DeadlineFrames = 6
+	}
+	if c.RateBps == 0 {
+		c.RateBps = 20e6
+	}
+	if c.OWD == 0 {
+		c.OWD = 25 * sim.Millisecond
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 1 << 20
+	}
+	if c.Burst == (netem.GilbertElliott{}) {
+		c.Burst = netem.GilbertElliott{PEnterBad: 0.03, PExitBad: 0.5}
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * sim.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result reports one run's playout and transport accounting.
+type Result struct {
+	// Frames is the number of frames the source encoded.
+	Frames int
+	// LateFrames counts frames rendered corrupted: not fully delivered by
+	// their render deadline (the macroblocking events of Figure 11).
+	LateFrames int
+	// Stalls and RebufferRatio are the playout model's rebuffering
+	// accounting.
+	Stalls        int
+	RebufferRatio float64
+	// Events is the headline quality metric: LateFrames + Stalls.
+	Events int
+	// DataBytes and RepairBytes are the sender's payload and repair wire
+	// bytes; Overhead is RepairBytes over their sum.
+	DataBytes   int64
+	RepairBytes int64
+	Overhead    float64
+	// Recovered counts receiver-side FEC reconstructions; RepairsSent the
+	// sender's emitted repair packets.
+	Recovered   int
+	RepairsSent int
+	// Retransmits counts transport retransmissions (the ARQ path).
+	Retransmits int
+	// LinkDropped counts packets the impaired link actually destroyed.
+	LinkDropped int
+	// MeanLoss is the analytic stationary loss rate of the burst model.
+	MeanLoss float64
+}
+
+// Run executes one simulated video session and reports its accounting.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+
+	scfg := stream.Default()
+	scfg.RecvWindow = 512 << 10
+	scfg.MaxStreams = 4
+	// Absorb I-frame bursts; the congestion controller does the pacing.
+	scfg.SendBuffer = 2 << 20
+
+	tcfg := transport.Config{Mode: transport.ModeTACK, Streams: &scfg}
+	path, fwd, _ := topo.WANPath(loop, topo.WANConfig{
+		RateBps: cfg.RateBps, OWD: cfg.OWD, QueueBytes: cfg.QueueBytes,
+		Impair: netem.Impairments{GE: cfg.Burst},
+	})
+	flow, err := topo.NewFlow(loop, tcfg, path)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var opts stream.Options
+	if cfg.FEC != nil {
+		opts.FEC = *cfg.FEC
+		if err := opts.Validate(); err != nil {
+			return Result{}, fmt.Errorf("fec options: %w", err)
+		}
+	}
+	ss, err := flow.Sender.Streams().Open(opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	src := &video.Source{FPS: cfg.FPS, AvgBitrate: cfg.BitrateBps, PeakFactor: 2, GOPSize: 30}
+	playout := video.NewPlayout(cfg.FPS, 2)
+	frameDur := src.Interval()
+	deadline := sim.Time(cfg.DeadlineFrames) * frameDur
+
+	// frameEnds[i] is the stream offset at which frame i completes;
+	// frameDue[i] its render deadline.
+	var frameEnds []uint64
+	var frameDue []sim.Time
+	var total uint64
+	buf := make([]byte, 0, 64<<10)
+	var tick func()
+	tick = func() {
+		now := loop.Now()
+		n := src.NextFrameBytes()
+		if room := scfg.SendBuffer - ss.BufferedBytes(); n > room {
+			// A real-time encoder never blocks: a frame the transport
+			// cannot absorb is dropped at the source and renders corrupted.
+			frameEnds = append(frameEnds, total)
+			frameDue = append(frameDue, now) // already missed
+		} else {
+			if cap(buf) < n {
+				buf = make([]byte, n)
+			}
+			b := buf[:n]
+			streamFill(ss.ID(), total, b)
+			if _, err := ss.Write(b); err != nil {
+				return
+			}
+			total += uint64(n)
+			frameEnds = append(frameEnds, total)
+			frameDue = append(frameDue, now+deadline)
+		}
+		playout.Tick(now)
+		loop.After(frameDur, tick)
+	}
+	loop.After(0, tick)
+
+	// Receiver application: drain deliverable bytes every millisecond and
+	// render frames in order — at completion if on time, corrupted at the
+	// deadline otherwise.
+	var delivered uint64
+	late := 0
+	next := 0
+	scratch := make([]byte, 64<<10)
+	var rs *stream.RecvStream
+	var poll *sim.Timer
+	poll = sim.NewTimer(loop, func() {
+		if rs == nil {
+			rs = flow.Receiver.Streams().TryAccept()
+		}
+		if rs != nil {
+			for {
+				n, eof, err := rs.ReadAvailable(scratch)
+				delivered += uint64(n)
+				if err != nil || eof || n == 0 {
+					break
+				}
+			}
+		}
+		now := loop.Now()
+	render:
+		for next < len(frameEnds) {
+			switch {
+			case delivered >= frameEnds[next] && now <= frameDue[next]:
+				playout.OnFrame(now, false)
+			case now > frameDue[next]:
+				playout.OnFrame(frameDue[next], true)
+				late++
+			default:
+				break render
+			}
+			next++
+		}
+		poll.Reset(now + sim.Millisecond)
+	})
+	poll.Reset(sim.Millisecond)
+
+	flow.Start()
+	loop.RunUntil(cfg.Duration)
+	playout.Finish(cfg.Duration)
+
+	snd, rcv := flow.Sender.Stats, flow.Receiver.Stats
+	res := Result{
+		Frames:        len(frameEnds),
+		LateFrames:    late,
+		Stalls:        playout.Stalls,
+		RebufferRatio: playout.RebufferRatio(cfg.Duration),
+		Events:        late + playout.Stalls,
+		DataBytes:     snd.DataBytes,
+		RepairBytes:   snd.FECRepairBytes,
+		Recovered:     rcv.FECRecovered,
+		RepairsSent:   snd.FECRepairsSent,
+		Retransmits:   snd.Retransmits,
+		LinkDropped:   fwd.Dropped,
+		MeanLoss:      cfg.Burst.MeanLoss(),
+	}
+	if sum := res.DataBytes + res.RepairBytes; sum > 0 {
+		res.Overhead = float64(res.RepairBytes) / float64(sum)
+	}
+	return res, nil
+}
+
+// streamFill writes the stream's deterministic byte pattern so delivery
+// can be spot-checked.
+func streamFill(id uint32, off uint64, b []byte) {
+	for i := range b {
+		b[i] = byte(uint64(id)*131 + (off+uint64(i))*2654435761)
+	}
+}

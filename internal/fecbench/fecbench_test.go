@@ -1,0 +1,54 @@
+package fecbench
+
+import (
+	"testing"
+
+	"github.com/tacktp/tack/internal/fec"
+)
+
+// The A/B delta the benchmark gate relies on: over burst loss the FEC arm
+// must cut deadline-miss events materially while staying under the byte
+// overhead cap.
+func TestFECArmBeatsARQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var arqEvents, fecEvents int
+	var data, repair int64
+	for seed := int64(1); seed <= 3; seed++ {
+		arq, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("arq seed %d: %v", seed, err)
+		}
+		f, err := Run(Config{Seed: seed, FEC: &fec.Options{
+			Scheme: fec.SchemeRS, GroupLen: 12, MaxOverhead: 0.18, Adaptive: true,
+		}})
+		if err != nil {
+			t.Fatalf("fec seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d ARQ: frames=%d late=%d stalls=%d retx=%d dropped=%d",
+			seed, arq.Frames, arq.LateFrames, arq.Stalls, arq.Retransmits, arq.LinkDropped)
+		t.Logf("seed %d FEC: frames=%d late=%d stalls=%d retx=%d dropped=%d recovered=%d repairs=%d overhead=%.3f",
+			seed, f.Frames, f.LateFrames, f.Stalls, f.Retransmits, f.LinkDropped,
+			f.Recovered, f.RepairsSent, f.Overhead)
+		if f.Recovered == 0 {
+			t.Errorf("seed %d: FEC arm recovered nothing", seed)
+		}
+		arqEvents += arq.Events
+		fecEvents += f.Events
+		data += f.DataBytes
+		repair += f.RepairBytes
+	}
+	if arqEvents == 0 {
+		t.Fatal("ARQ arm saw no deadline misses: the scenario is not stressing recovery latency")
+	}
+	reduction := 1 - float64(fecEvents)/float64(arqEvents)
+	overhead := float64(repair) / float64(data+repair)
+	t.Logf("pooled: arq=%d fec=%d reduction=%.2f overhead=%.3f", arqEvents, fecEvents, reduction, overhead)
+	if reduction < 0.30 {
+		t.Errorf("event reduction %.2f < 0.30 (arq %d, fec %d)", reduction, arqEvents, fecEvents)
+	}
+	if overhead >= 0.20 {
+		t.Errorf("byte overhead %.3f >= 0.20", overhead)
+	}
+}

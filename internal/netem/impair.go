@@ -38,6 +38,24 @@ func (g GilbertElliott) lossBad() float64 {
 	return g.LossBad
 }
 
+// MeanLoss returns the configured steady-state loss rate of the model: the
+// stationary bad-state occupancy π_bad = PEnterBad/(PEnterBad+PExitBad) of
+// the two-state Markov chain, weighted by the per-state loss probabilities.
+// Tests and the FEC adaptive controller assert against this ground truth
+// instead of re-deriving it. A disabled model (PEnterBad == 0) draws no
+// loss at all and returns 0; PExitBad == 0 means the chain is absorbed in
+// the bad state.
+func (g GilbertElliott) MeanLoss() float64 {
+	if !g.enabled() {
+		return 0
+	}
+	if g.PExitBad <= 0 {
+		return g.lossBad()
+	}
+	piBad := g.PEnterBad / (g.PEnterBad + g.PExitBad)
+	return piBad*g.lossBad() + (1-piBad)*g.LossGood
+}
+
 // Impairments bundles the adversarial per-packet models that can be layered
 // on top of a path's basic rate/delay/queue behaviour: independent loss,
 // Gilbert–Elliott burst loss, duplication, bit corruption and delay jitter.

@@ -119,10 +119,13 @@ func TestGilbertElliottBurstLoss(t *testing.T) {
 			run = 0
 		}
 	}
-	// Stationary bad-state probability = PEnterBad/(PEnterBad+PExitBad) ≈ 3.85%.
+	// The empirical rate must track the configured steady state (≈ 3.85%
+	// here) that MeanLoss reports — the ground truth the FEC controller
+	// and benches assert against.
 	rate := float64(drops) / n
-	if rate < 0.02 || rate > 0.06 {
-		t.Errorf("GE loss rate %.4f outside [0.02, 0.06]", rate)
+	mean := ge.MeanLoss()
+	if rate < mean*0.6 || rate > mean*1.4 {
+		t.Errorf("GE loss rate %.4f not within ±40%% of MeanLoss %.4f", rate, mean)
 	}
 	// Mean burst length is 1/PExitBad = 4; a 50k-packet run should easily
 	// contain a burst of 5+ — independent loss at this rate essentially
@@ -150,6 +153,29 @@ func TestLinkImpairmentAccounting(t *testing.T) {
 	}
 	if link.Corrupted == 0 || link.Duplicated == 0 || link.Dropped == 0 {
 		t.Fatalf("impairments not exercised: %+v", *link)
+	}
+}
+
+// TestMeanLoss pins the closed form against hand-computed points and the
+// degenerate configurations.
+func TestMeanLoss(t *testing.T) {
+	cases := []struct {
+		ge   GilbertElliott
+		want float64
+	}{
+		{GilbertElliott{}, 0},              // disabled
+		{GilbertElliott{LossGood: 0.5}, 0}, // disabled: LossGood never drawn
+		{GilbertElliott{PEnterBad: 0.05, PExitBad: 0.5}, 0.05 / 0.55},
+		{GilbertElliott{PEnterBad: 0.02, PExitBad: 0.3, LossBad: 0.8}, (0.02 / 0.32) * 0.8},
+		{GilbertElliott{PEnterBad: 0.01, PExitBad: 0.24, LossGood: 0.01},
+			(0.01/0.25)*1 + (0.24/0.25)*0.01},
+		{GilbertElliott{PEnterBad: 0.1, PExitBad: 0, LossBad: 0.7}, 0.7}, // absorbed in bad
+	}
+	for i, c := range cases {
+		got := c.ge.MeanLoss()
+		if got < c.want-1e-12 || got > c.want+1e-12 {
+			t.Errorf("case %d: MeanLoss() = %g, want %g", i, got, c.want)
+		}
 	}
 }
 

@@ -13,18 +13,23 @@ import (
 // block lists, flags).
 func codecCases() map[string]*Packet {
 	return map[string]*Packet{
-		"syn":       {Type: TypeSYN, ConnID: 1, PktSeq: 0, SentAt: 5},
-		"syn+data":  {Type: TypeSYN, ConnID: 1, Seq: 0, Payload: bytes.Repeat([]byte{3}, 100)},
-		"synack":    {Type: TypeSYNACK, ConnID: 1, IACK: IACKHandshake, Ack: &AckInfo{Window: 1 << 20, EchoDeparture: 9}},
-		"data":      {Type: TypeData, ConnID: 2, PktSeq: 9, Seq: 1500, Payload: bytes.Repeat([]byte{7}, 1439), OldestPktSeq: 4},
-		"data+fin":  {Type: TypeData, ConnID: 2, PktSeq: 10, Seq: 2939, Payload: []byte{1}, FIN: true, Retrans: true, IsProbe: true},
-		"data+nil":  {Type: TypeData, ConnID: 2, PktSeq: 11, Seq: 2940},
+		"syn":      {Type: TypeSYN, ConnID: 1, PktSeq: 0, SentAt: 5},
+		"syn+data": {Type: TypeSYN, ConnID: 1, Seq: 0, Payload: bytes.Repeat([]byte{3}, 100)},
+		"synack":   {Type: TypeSYNACK, ConnID: 1, IACK: IACKHandshake, Ack: &AckInfo{Window: 1 << 20, EchoDeparture: 9}},
+		"data":     {Type: TypeData, ConnID: 2, PktSeq: 9, Seq: 1500, Payload: bytes.Repeat([]byte{7}, 1439), OldestPktSeq: 4},
+		"data+fin": {Type: TypeData, ConnID: 2, PktSeq: 10, Seq: 2939, Payload: []byte{1}, FIN: true, Retrans: true, IsProbe: true},
+		"data+nil": {Type: TypeData, ConnID: 2, PktSeq: 11, Seq: 2940},
 		"stream-data": {Type: TypeData, ConnID: 2, PktSeq: 12, Seq: 4096, Payload: bytes.Repeat([]byte{9}, 1400),
 			HasStream: true, StreamID: 7, StreamOff: 1 << 21, OldestPktSeq: 5},
 		"stream-fin": {Type: TypeData, ConnID: 2, PktSeq: 13, Seq: 5496,
 			HasStream: true, StreamID: 8, StreamOff: 0, StreamFIN: true},
 		"stream-retrans": {Type: TypeData, ConnID: 2, PktSeq: 14, Seq: 4096, Payload: []byte{1, 2, 3},
 			HasStream: true, StreamID: 7, StreamOff: 1 << 21, StreamFIN: true, Retrans: true},
+		"stream-fec": {Type: TypeData, ConnID: 2, PktSeq: 15, Seq: 5496, Payload: bytes.Repeat([]byte{5}, 1200),
+			HasStream: true, StreamID: 7, StreamOff: 1 << 22, OldestPktSeq: 6,
+			HasFEC: true, FECGroup: 41, FECIndex: 3},
+		"repair": {Type: TypeRepair, ConnID: 2, PktSeq: 0, SentAt: 17, Payload: bytes.Repeat([]byte{6}, 1431),
+			FECGroup: 41, FECGroupLen: 8, FECRepairCount: 2, FECIndex: 1, FECScheme: 2},
 		"tack-bare": {Type: TypeTACK, ConnID: 3, PktSeq: 12},
 		"tack": {Type: TypeTACK, ConnID: 3, PktSeq: 13, Ack: &AckInfo{
 			CumAck: 4096, CumPktSeq: 7, LargestPktSeq: 40, AckSeq: 2, Window: 1 << 20,
@@ -223,21 +228,21 @@ func TestPathFrameRoundTrip(t *testing.T) {
 }
 
 // benchPackets are the hot-path shapes: a full-size data packet, a rich
-// TACK, a full-size stream frame, and a TACK carrying stream-window
-// advertisements.
-func benchPackets() (data, tack, stream, tackWindows *Packet) {
+// TACK, a full-size stream frame, a TACK carrying stream-window
+// advertisements, and a full-size FEC repair symbol.
+func benchPackets() (data, tack, stream, tackWindows, repair *Packet) {
 	cases := codecCases()
-	return cases["data"], cases["tack"], cases["stream-data"], cases["tack-windows"]
+	return cases["data"], cases["tack"], cases["stream-data"], cases["tack-windows"], cases["repair"]
 }
 
 // BenchmarkMarshal measures AppendMarshal into a reused buffer — the
 // endpoint egress path. Must report 0 allocs/op.
 func BenchmarkMarshal(b *testing.B) {
-	data, tack, stream, tackWindows := benchPackets()
+	data, tack, stream, tackWindows, repair := benchPackets()
 	for _, bc := range []struct {
 		name string
 		p    *Packet
-	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}} {
+	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}, {"repair", repair}} {
 		b.Run(bc.name, func(b *testing.B) {
 			buf := make([]byte, 0, bc.p.EncodedLen())
 			b.SetBytes(int64(bc.p.EncodedLen()))
@@ -254,11 +259,11 @@ func BenchmarkMarshal(b *testing.B) {
 // BenchmarkUnmarshal measures DecodeInto into a reused packet — the
 // endpoint ingress path. Must report 0 allocs/op once storage is warm.
 func BenchmarkUnmarshal(b *testing.B) {
-	data, tack, stream, tackWindows := benchPackets()
+	data, tack, stream, tackWindows, repair := benchPackets()
 	for _, bc := range []struct {
 		name string
 		p    *Packet
-	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}} {
+	}{{"data", data}, {"tack", tack}, {"stream-data", stream}, {"tack-windows", tackWindows}, {"repair", repair}} {
 		b.Run(bc.name, func(b *testing.B) {
 			wire := bc.p.Marshal()
 			var p Packet

@@ -32,6 +32,10 @@ func FuzzUnmarshal(f *testing.F) {
 		{Type: TypeFINACK, ConnID: 4, Ack: &AckInfo{CumAck: 1 << 30}},
 		{Type: TypePathChallenge, ConnID: 5, SentAt: 7, Token: 0x1122334455667788},
 		{Type: TypePathResponse, ConnID: 5, SentAt: 8, Token: 0x1122334455667788},
+		{Type: TypeData, ConnID: 6, PktSeq: 11, Seq: 2048, Payload: bytes.Repeat([]byte{4}, 48),
+			HasStream: true, StreamID: 2, StreamOff: 512, HasFEC: true, FECGroup: 9, FECIndex: 2},
+		{Type: TypeRepair, ConnID: 6, SentAt: 9, Payload: bytes.Repeat([]byte{0xAB}, 96),
+			FECGroup: 9, FECGroupLen: 4, FECRepairCount: 1, FECIndex: 0, FECScheme: 1},
 	}
 	for _, p := range seeds {
 		f.Add(p.Marshal())
@@ -95,13 +99,14 @@ func FuzzCodecDifferential(f *testing.F) {
 // FuzzStreamFrame fuzzes the STREAM-frame corner of the codec with
 // structured inputs: arbitrary stream ID / offset / flag / payload
 // combinations must round-trip exactly (including the zero-length FIN
-// frame), EncodedLen must predict the marshalled size, and Sane must
-// accept every honestly-constructed frame.
+// frame and the FEC source-symbol tag), EncodedLen must predict the
+// marshalled size, and Sane must accept every honestly-constructed frame.
 func FuzzStreamFrame(f *testing.F) {
-	f.Add(uint32(0), uint64(0), []byte{}, true, false)
-	f.Add(uint32(7), uint64(1<<21), bytes.Repeat([]byte{9}, 1400), false, false)
-	f.Add(InitialWindowID, uint64(1)<<62, []byte{1}, true, true)
-	f.Fuzz(func(t *testing.T, sid uint32, off uint64, payload []byte, fin bool, retrans bool) {
+	f.Add(uint32(0), uint64(0), []byte{}, true, false, false, uint32(0), uint8(0))
+	f.Add(uint32(7), uint64(1<<21), bytes.Repeat([]byte{9}, 1400), false, false, true, uint32(12), uint8(5))
+	f.Add(InitialWindowID, uint64(1)<<62, []byte{1}, true, true, false, uint32(0), uint8(0))
+	f.Fuzz(func(t *testing.T, sid uint32, off uint64, payload []byte, fin bool, retrans bool,
+		hasFEC bool, group uint32, fecIdx uint8) {
 		if off+uint64(len(payload)) < off {
 			return // wrapping ranges are an encoder-contract violation
 		}
@@ -109,6 +114,10 @@ func FuzzStreamFrame(f *testing.F) {
 			Type: TypeData, ConnID: 1, PktSeq: 42, Seq: 9000,
 			Payload: payload, HasStream: true, StreamID: sid, StreamOff: off,
 			StreamFIN: fin, Retrans: retrans,
+			HasFEC: hasFEC, FECGroup: group, FECIndex: fecIdx,
+		}
+		if !hasFEC {
+			p.FECGroup, p.FECIndex = 0, 0 // not on the wire without the flag
 		}
 		wire := p.Marshal()
 		if len(wire) != p.EncodedLen() {
@@ -120,6 +129,9 @@ func FuzzStreamFrame(f *testing.F) {
 		}
 		if !q.HasStream || q.StreamID != sid || q.StreamOff != off || q.StreamFIN != fin {
 			t.Fatalf("stream fields diverged: %+v vs %+v", p, q)
+		}
+		if q.HasFEC != hasFEC || q.FECGroup != p.FECGroup || q.FECIndex != p.FECIndex {
+			t.Fatalf("fec fields diverged: %+v vs %+v", p, q)
 		}
 		if !bytes.Equal(q.Payload, payload) {
 			t.Fatalf("payload diverged (%d vs %d bytes)", len(q.Payload), len(payload))

@@ -44,6 +44,11 @@ const (
 	// TypePathResponse echoes a PATH_CHALLENGE token, proving the sender
 	// owns (is on-path at) the challenged address.
 	TypePathResponse
+	// TypeRepair carries one forward-error-correction repair symbol over a
+	// group of FEC-tagged DATA packets (internal/fec). Repair packets ride
+	// outside the data PKT.SEQ space — they are fire-and-forget fill, never
+	// acked, retransmitted, or counted as data loss.
+	TypeRepair
 )
 
 // String returns the conventional name of the type.
@@ -67,6 +72,8 @@ func (t Type) String() string {
 		return "PATH_CHALLENGE"
 	case TypePathResponse:
 		return "PATH_RESPONSE"
+	case TypeRepair:
+		return "REPAIR"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -216,6 +223,19 @@ type Packet struct {
 	// echo verbatim from the challenged address to validate it.
 	Token uint64
 
+	// FEC fields. A stream-bearing DATA packet with HasFEC set is a source
+	// symbol of FEC group FECGroup at position FECIndex; a TypeRepair packet
+	// carries one repair symbol for that group in Payload, along with the
+	// group geometry (FECGroupLen data symbols, FECRepairCount repair
+	// symbols, FECScheme coding discipline) the receiver needs to decode
+	// without per-stream configuration.
+	HasFEC         bool
+	FECGroup       uint32 // FEC group identifier (connection-scoped counter)
+	FECIndex       uint8  // symbol position: data index in group, or repair index
+	FECGroupLen    uint8  // TypeRepair: k, number of data symbols in the group
+	FECRepairCount uint8  // TypeRepair: r, number of repair symbols for the group
+	FECScheme      uint8  // TypeRepair: coding scheme (internal/fec Scheme values)
+
 	// spareAck parks AckInfo storage across Reset/DecodeInto cycles while
 	// the packet carries no feedback block, so a pooled Packet alternating
 	// between data and ack datagrams stays allocation-free.
@@ -257,6 +277,14 @@ const streamHeaderLen = 4 + 8
 // streamWindowLen is the encoded size of one StreamWindow entry.
 const streamWindowLen = 4 + 8
 
+// fecTagLen is the extra DATA-body length when HasFEC is set (FEC group id
+// + symbol index).
+const fecTagLen = 4 + 1
+
+// repairFixedLen is the fixed REPAIR-body length: group id, group length k,
+// repair count r, repair index, scheme, payload length.
+const repairFixedLen = 4 + 1 + 1 + 1 + 1 + 2
+
 // EncodedLen returns the body+header length of the transport PDU in bytes
 // (excluding Ethernet/IP/UDP framing).
 func (p *Packet) EncodedLen() int {
@@ -266,6 +294,9 @@ func (p *Packet) EncodedLen() int {
 		n += 8 + 8 + 2 + 1 + len(p.Payload) // seq, oldest, paylen, flags
 		if p.HasStream {
 			n += streamHeaderLen
+		}
+		if p.HasFEC {
+			n += fecTagLen
 		}
 	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
 		n += 1 + 8 + 8 + 1 // iack kind, rttmin, oldest, has-ack marker
@@ -277,6 +308,8 @@ func (p *Packet) EncodedLen() int {
 		n += 8 // final seq
 	case TypePathChallenge, TypePathResponse:
 		n += 8 // validation token
+	case TypeRepair:
+		n += repairFixedLen + len(p.Payload)
 	}
 	return n
 }
@@ -321,6 +354,10 @@ func (p *Packet) AppendMarshal(buf []byte) []byte {
 			buf = binary.BigEndian.AppendUint32(buf, p.StreamID)
 			buf = binary.BigEndian.AppendUint64(buf, p.StreamOff)
 		}
+		if p.HasFEC {
+			buf = binary.BigEndian.AppendUint32(buf, p.FECGroup)
+			buf = append(buf, p.FECIndex)
+		}
 		buf = append(buf, p.Payload...)
 	case TypeTACK, TypeIACK, TypeSYNACK, TypeFINACK:
 		buf = append(buf, byte(p.IACK))
@@ -336,6 +373,11 @@ func (p *Packet) AppendMarshal(buf []byte) []byte {
 		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
 	case TypePathChallenge, TypePathResponse:
 		buf = binary.BigEndian.AppendUint64(buf, p.Token)
+	case TypeRepair:
+		buf = binary.BigEndian.AppendUint32(buf, p.FECGroup)
+		buf = append(buf, p.FECGroupLen, p.FECRepairCount, p.FECIndex, p.FECScheme)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+		buf = append(buf, p.Payload...)
 	}
 	return buf
 }
@@ -356,6 +398,9 @@ func (p *Packet) flags() byte {
 	}
 	if p.StreamFIN {
 		f |= 16
+	}
+	if p.HasFEC {
+		f |= 32
 	}
 	return f
 }
@@ -429,6 +474,7 @@ func DecodeInto(p *Packet, buf []byte) error {
 		p.IsProbe = f&4 != 0
 		p.HasStream = f&8 != 0
 		p.StreamFIN = f&16 != 0
+		p.HasFEC = f&32 != 0
 		body = body[19:]
 		if p.HasStream {
 			if len(body) < streamHeaderLen {
@@ -438,6 +484,15 @@ func DecodeInto(p *Packet, buf []byte) error {
 			p.StreamID = binary.BigEndian.Uint32(body)
 			p.StreamOff = binary.BigEndian.Uint64(body[4:])
 			body = body[streamHeaderLen:]
+		}
+		if p.HasFEC {
+			if len(body) < fecTagLen {
+				p.Reset()
+				return errTruncated
+			}
+			p.FECGroup = binary.BigEndian.Uint32(body)
+			p.FECIndex = body[4]
+			body = body[fecTagLen:]
 		}
 		if len(body) < plen {
 			p.Reset()
@@ -477,6 +532,23 @@ func DecodeInto(p *Packet, buf []byte) error {
 			return errTruncated
 		}
 		p.Token = binary.BigEndian.Uint64(body)
+	case TypeRepair:
+		if len(body) < repairFixedLen {
+			p.Reset()
+			return errTruncated
+		}
+		p.FECGroup = binary.BigEndian.Uint32(body)
+		p.FECGroupLen = body[4]
+		p.FECRepairCount = body[5]
+		p.FECIndex = body[6]
+		p.FECScheme = body[7]
+		plen := int(binary.BigEndian.Uint16(body[8:]))
+		body = body[repairFixedLen:]
+		if len(body) < plen {
+			p.Reset()
+			return errTruncated
+		}
+		p.Payload = append(p.Payload[:0], body[:plen]...)
 	default:
 		err := fmt.Errorf("packet: unknown type %d", buf[1])
 		p.Reset()
@@ -577,6 +649,11 @@ func (p *Packet) Sane() error {
 		if p.StreamFIN && !p.HasStream {
 			return fmt.Errorf("%w: StreamFIN without stream frame", errInsane)
 		}
+		// FEC source symbols are always stream frames: recovery synthesizes
+		// a STREAM frame, so a non-stream FEC tag is structurally bogus.
+		if p.HasFEC && !p.HasStream {
+			return fmt.Errorf("%w: FEC tag without stream frame", errInsane)
+		}
 		// The sender's oldest outstanding packet can never exceed the
 		// packet number it just minted.
 		if p.OldestPktSeq > p.PktSeq+1 {
@@ -590,6 +667,22 @@ func (p *Packet) Sane() error {
 			if err := a.sane(); err != nil {
 				return err
 			}
+		}
+	case TypeRepair:
+		// Honest encoders emit k≥1 data symbols, r≥1 repair symbols, a
+		// repair index inside [0, r), and a group small enough for GF(2^8)
+		// coding (k+r ≤ 255 distinct symbol coordinates).
+		if p.FECGroupLen == 0 || p.FECRepairCount == 0 {
+			return fmt.Errorf("%w: empty FEC group geometry k=%d r=%d", errInsane, p.FECGroupLen, p.FECRepairCount)
+		}
+		if p.FECIndex >= p.FECRepairCount {
+			return fmt.Errorf("%w: repair index %d beyond repair count %d", errInsane, p.FECIndex, p.FECRepairCount)
+		}
+		if int(p.FECGroupLen)+int(p.FECRepairCount) > 255 {
+			return fmt.Errorf("%w: FEC group k+r=%d exceeds GF(256) coordinates", errInsane, int(p.FECGroupLen)+int(p.FECRepairCount))
+		}
+		if p.FECScheme == 0 {
+			return fmt.Errorf("%w: zero FEC scheme", errInsane)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/tacktp/tack/internal/fec"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/seqspace"
 	"github.com/tacktp/tack/internal/sim"
@@ -60,16 +61,16 @@ type SendDeps struct {
 func NewSendMux(cfg Config, deps SendDeps) *SendMux {
 	cfg = cfg.withDefaults()
 	return &SendMux{
-		cfg:       cfg,
-		deps:      deps,
-		sched:     newScheduler(cfg.Scheduler),
-		streams:   make(map[uint32]*SendStream),
-		mOpened:   deps.Metrics.Counter("stream.opened"),
-		mClosed:   deps.Metrics.Counter("stream.send_closed"),
-		mFrames:   deps.Metrics.Counter("stream.frames_sent"),
-		mBytes:    deps.Metrics.Counter("stream.bytes_sent"),
+		cfg:        cfg,
+		deps:       deps,
+		sched:      newScheduler(cfg.Scheduler),
+		streams:    make(map[uint32]*SendStream),
+		mOpened:    deps.Metrics.Counter("stream.opened"),
+		mClosed:    deps.Metrics.Counter("stream.send_closed"),
+		mFrames:    deps.Metrics.Counter("stream.frames_sent"),
+		mBytes:     deps.Metrics.Counter("stream.bytes_sent"),
 		mBadWindow: deps.Metrics.Counter("stream.bad_window"),
-		gActive:   deps.Metrics.Gauge("stream.send_active"),
+		gActive:    deps.Metrics.Gauge("stream.send_active"),
 	}
 }
 
@@ -95,11 +96,15 @@ func (m *SendMux) Open(opts Options) (*SendStream, error) {
 	if m.active >= m.cfg.MaxStreams {
 		return nil, ErrTooManyStreams
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	s := &SendStream{
 		mux:    m,
 		id:     m.nextID,
 		prio:   opts.Priority,
 		weight: opts.Weight,
+		fec:    opts.FEC,
 	}
 	s.cond = sync.NewCond(&m.mu)
 	if m.haveInitial {
@@ -235,7 +240,7 @@ func (m *SendMux) NextFrame(now sim.Time, max int) (Frame, bool) {
 		return Frame{}, false
 	}
 	n := m.frameLenLocked(s, max)
-	fr := Frame{ID: s.id, Off: s.next}
+	fr := Frame{ID: s.id, Off: s.next, FEC: s.fec}
 	if n > 0 {
 		fr.Data = append(make([]byte, 0, n), s.data[s.next-s.dataOff:][:n]...)
 		s.next += uint64(n)
@@ -379,6 +384,7 @@ type SendStream struct {
 	id     uint32
 	prio   int
 	weight int
+	fec    fec.Options
 
 	// deficit is owned by the weighted scheduler.
 	deficit int

@@ -35,6 +35,8 @@ package stream
 import (
 	"errors"
 	"fmt"
+
+	"github.com/tacktp/tack/internal/fec"
 )
 
 // Frame is one schedulable unit handed to the transport sender: a run of
@@ -50,6 +52,10 @@ type Frame struct {
 	Data []byte
 	// FIN marks the end of the stream immediately after Data.
 	FIN bool
+	// FEC carries the owning stream's FEC options so the transport sender
+	// can fold the frame into a repair group without a mux round trip; the
+	// zero value means the stream is not FEC-protected.
+	FEC fec.Options
 }
 
 // WireLen returns the connection-sequence-space footprint of the frame:
@@ -157,6 +163,17 @@ type Options struct {
 	// Weight sets the stream's bandwidth share under SchedulerWeighted
 	// (zero means 1).
 	Weight int
+	// FEC opts the stream into forward-error-correction: its frames are
+	// coded into repair groups so burst loss recovers without a
+	// retransmission round trip (latency-critical streams). The zero value
+	// disables FEC for the stream.
+	FEC fec.Options
+}
+
+// Validate bounds-checks the per-stream options (today that is the FEC
+// sub-surface; scheduling knobs accept any value).
+func (o Options) Validate() error {
+	return o.FEC.Validate()
 }
 
 // Stream-layer errors.

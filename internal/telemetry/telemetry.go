@@ -142,6 +142,20 @@ const (
 	// the probing episode, Aux=probing duration ns.
 	KindMigrationCompleted
 
+	// KindFECRepairSent records a REPAIR symbol leaving the sender:
+	// Flow=ConnID, Seq=FEC group id, PktSeq=repair index within the group,
+	// Len=repair payload bytes, Aux=group length k, Value=current
+	// redundancy ratio r/k.
+	KindFECRepairSent
+	// KindFECRecovered records the receiver reconstructing a lost DATA
+	// packet from repair symbols: Flow=ConnID, Seq=FEC group id, PktSeq=the
+	// recovered packet number, Len=recovered payload bytes, Aux=stream ID.
+	KindFECRecovered
+	// KindFECRepairWasted records a repair symbol that bought nothing — its
+	// group was already fully received, or it duplicated an earlier repair:
+	// Flow=ConnID, Seq=FEC group id, Len=repair payload bytes.
+	KindFECRepairWasted
+
 	numKinds
 )
 
@@ -175,6 +189,10 @@ var kindNames = [numKinds]string{
 	KindPathChallenge:      "path_challenge",
 	KindPathResponse:       "path_response",
 	KindMigrationCompleted: "migration_completed",
+
+	KindFECRepairSent:   "fec_repair_sent",
+	KindFECRecovered:    "fec_recovered",
+	KindFECRepairWasted: "fec_repair_wasted",
 }
 
 // String returns the event name used on the wire (JSONL "ev" field).
@@ -259,19 +277,19 @@ const (
 )
 
 var triggerNames = [...]string{
-	TrigNone:       "none",
-	TrigBytes:      "bytes",
-	TrigTimer:      "timer",
-	TrigTail:       "tail",
-	TrigFIN:        "fin",
-	TrigLoss:       "loss",
-	TrigWindow:     "window",
-	TrigRTTSync:    "rttsync",
-	TrigHandshake:  "handshake",
-	TrigKeepalive:  "keepalive",
-	TrigRetrans:    "retrans",
-	TrigQueueFull:  "queuefull",
-	TrigRetryLimit: "retrylimit",
+	TrigNone:         "none",
+	TrigBytes:        "bytes",
+	TrigTimer:        "timer",
+	TrigTail:         "tail",
+	TrigFIN:          "fin",
+	TrigLoss:         "loss",
+	TrigWindow:       "window",
+	TrigRTTSync:      "rttsync",
+	TrigHandshake:    "handshake",
+	TrigKeepalive:    "keepalive",
+	TrigRetrans:      "retrans",
+	TrigQueueFull:    "queuefull",
+	TrigRetryLimit:   "retrylimit",
 	TrigStall:        "stall",
 	TrigRetxStorm:    "retx_storm",
 	TrigWndExhaust:   "wnd_exhaust",
@@ -739,6 +757,38 @@ func (t *Tracer) StreamWindow(now sim.Time, flow uint32, streamID uint32, limit 
 	}
 	t.Emit(Event{Sim: now, Kind: KindStreamWindow, Flow: flow, Trigger: trig,
 		Seq: uint64(streamID), Aux: limit})
+}
+
+// FECRepairSent records a repair symbol transmission for group with the
+// given index and payload size; k is the group's data-symbol count and
+// ratio the redundancy ratio in force.
+func (t *Tracer) FECRepairSent(now sim.Time, flow uint32, group uint32, idx, bytes, k int, ratio float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindFECRepairSent, Flow: flow,
+		Seq: uint64(group), PktSeq: uint64(idx), Len: int64(bytes), Aux: uint64(k), Value: ratio})
+}
+
+// FECRecovered records the receiver reconstructing packet pktSeq of the
+// given group from repair symbols, carrying bytes payload bytes of stream
+// streamID.
+func (t *Tracer) FECRecovered(now sim.Time, flow uint32, group uint32, pktSeq uint64, bytes int, streamID uint32) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindFECRecovered, Flow: flow,
+		Seq: uint64(group), PktSeq: pktSeq, Len: int64(bytes), Aux: uint64(streamID)})
+}
+
+// FECRepairWasted records a repair arriving for a group that needed no
+// repair (fully received or duplicate).
+func (t *Tracer) FECRepairWasted(now sim.Time, flow uint32, group uint32, bytes int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Sim: now, Kind: KindFECRepairWasted, Flow: flow,
+		Seq: uint64(group), Len: int64(bytes)})
 }
 
 // Anomaly records an endpoint anomaly detector firing: class is one of

@@ -4,6 +4,7 @@ import (
 	"github.com/tacktp/tack/internal/ackpolicy"
 	"github.com/tacktp/tack/internal/buffer"
 	"github.com/tacktp/tack/internal/core"
+	"github.com/tacktp/tack/internal/fec"
 	"github.com/tacktp/tack/internal/packet"
 	"github.com/tacktp/tack/internal/rate"
 	"github.com/tacktp/tack/internal/rtt"
@@ -72,17 +73,30 @@ type Receiver struct {
 	settleTimer *sim.Timer
 	streamTimer *sim.Timer // urgent stream-window IACK (default mux kick)
 
+	// Forward error correction (see fec.go): the group decoder plus
+	// watermarks for mirroring its monotonic counters into stats/metrics.
+	fecDec         *fec.Decoder
+	fecUsedSeen    uint64
+	fecWastedSeen  uint64
+	fecDroppedSeen uint64
+
 	// Stats and instrumentation.
 	Stats ReceiverStats
 
 	// Telemetry (nil-safe no-ops when un-instrumented).
-	tracer       *telemetry.Tracer
-	mDataPackets *telemetry.Counter
-	mTACKs       *telemetry.Counter
-	mIACKs       *telemetry.Counter
-	mLosses      *telemetry.Counter
-	mAckBytes    *telemetry.Counter
-	mLossLatency *telemetry.Histogram
+	tracer             *telemetry.Tracer
+	mDataPackets       *telemetry.Counter
+	mTACKs             *telemetry.Counter
+	mIACKs             *telemetry.Counter
+	mLosses            *telemetry.Counter
+	mAckBytes          *telemetry.Counter
+	mLossLatency       *telemetry.Histogram
+	mFECRepairsRecv    *telemetry.Counter
+	mFECRecovered      *telemetry.Counter
+	mFECRecoveredBytes *telemetry.Counter
+	mFECRepairsUsed    *telemetry.Counter
+	mFECRepairsWasted  *telemetry.Counter
+	mFECDropped        *telemetry.Counter
 	// OWD collects per-packet one-way delays (sim clock is shared, so these
 	// are true OWDs) for latency reporting.
 	OWD *stats.Summary
@@ -118,6 +132,13 @@ func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
 		mLosses:      cfg.Metrics.Counter("rcv.losses_detected"),
 		mAckBytes:    cfg.Metrics.Counter("rcv.ack_bytes_sent"),
 		mLossLatency: cfg.Metrics.Histogram("rcv.loss_latency_s"),
+
+		mFECRepairsRecv:    cfg.Metrics.Counter("fec.repairs_received"),
+		mFECRecovered:      cfg.Metrics.Counter("fec.recovered"),
+		mFECRecoveredBytes: cfg.Metrics.Counter("fec.recovered_bytes"),
+		mFECRepairsUsed:    cfg.Metrics.Counter("fec.repairs_used"),
+		mFECRepairsWasted:  cfg.Metrics.Counter("fec.repairs_wasted"),
+		mFECDropped:        cfg.Metrics.Counter("fec.dropped"),
 	}
 	r.tracer.FlowParams(loop.Now(), cfg.ConnID, cfg.Mode == ModeLegacy,
 		cfg.Params.Beta, cfg.Params.L, cfg.Payload, cfg.Params.SettleFraction)
@@ -137,6 +158,9 @@ func NewReceiver(loop *sim.Loop, cfg Config, out Output) *Receiver {
 			Tracer:  cfg.Tracer,
 			Metrics: cfg.Metrics,
 		})
+		// FEC recovery synthesizes STREAM frames, so the decoder only
+		// exists on stream-multiplexed connections.
+		r.fecDec = fec.NewDecoder(0, 0)
 		r.streamTimer = sim.NewTimer(loop, r.FlushStreamWindows)
 		// Default kick: route the urgent window update through the loop
 		// (the kick fires under the mux lock, which FlushStreamWindows
@@ -266,6 +290,8 @@ func (r *Receiver) OnPacket(p *packet.Packet) {
 	case packet.TypeFIN:
 		r.buf.OnFIN(p.Seq)
 		r.sendAck(packet.TypeFINACK, packet.IACKKind(0), telemetry.TrigFIN, nil)
+	case packet.TypeRepair:
+		r.onRepair(p)
 	}
 }
 
@@ -381,6 +407,9 @@ func (r *Receiver) onData(p *packet.Packet) {
 		// sequence state above is untouched by a stream-level refusal.
 		r.mux.OnFrame(now, p.StreamID, p.StreamOff, p.Payload, p.StreamFIN)
 	}
+	// Mirror FEC-tagged sources into the group decoder (may complete a
+	// recovery if this group's repairs arrived first).
+	r.fecOnData(p)
 	r.deliv.OnDeliver(now, accepted)
 	r.timing.OnData(now, p.SentAt)
 

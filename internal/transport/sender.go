@@ -76,6 +76,13 @@ type Sender struct {
 	rack         *rackState
 	lastDataSend sim.Time // departure time of the most recent DATA emission
 
+	// Forward error correction (see fec.go): per-stream group encoders,
+	// the connection-level group counter, and the sealed-repair queue
+	// flushed as lowest-priority fill.
+	fecStreams  map[uint32]*fecSender
+	fecGroupSeq uint32
+	fecQueue    []*packet.Packet
+
 	// Timers.
 	sendTimer  *sim.Timer
 	rtoTimer   *sim.Timer
@@ -88,19 +95,24 @@ type Sender struct {
 	payload []byte
 
 	// Telemetry (nil-safe no-ops when un-instrumented).
-	tracer        *telemetry.Tracer
-	mDataPackets  *telemetry.Counter
-	mRetransmits  *telemetry.Counter
-	mTimeouts     *telemetry.Counter
-	mAcksReceived *telemetry.Counter
-	mAckBytes     *telemetry.Counter
-	mLossEpisodes *telemetry.Counter
-	mSYNRetrans   *telemetry.Counter
-	mRTT          *telemetry.Histogram
-	mRackMarked   *telemetry.Counter
-	mRackReorder  *telemetry.Counter
-	mReoWnd       *telemetry.Histogram
-	mTLPProbes    *telemetry.Counter
+	tracer          *telemetry.Tracer
+	mDataPackets    *telemetry.Counter
+	mRetransmits    *telemetry.Counter
+	mTimeouts       *telemetry.Counter
+	mAcksReceived   *telemetry.Counter
+	mAckBytes       *telemetry.Counter
+	mLossEpisodes   *telemetry.Counter
+	mSYNRetrans     *telemetry.Counter
+	mRTT            *telemetry.Histogram
+	mRackMarked     *telemetry.Counter
+	mRackReorder    *telemetry.Counter
+	mReoWnd         *telemetry.Histogram
+	mTLPProbes      *telemetry.Counter
+	mFECGroups      *telemetry.Counter
+	mFECRepairs     *telemetry.Counter
+	mFECRepairBytes *telemetry.Counter
+	mFECQueueDrops  *telemetry.Counter
+	mFECRatio       *telemetry.Gauge
 
 	// OnDone fires once when the transfer completes (all bytes acked).
 	OnDone func()
@@ -141,6 +153,12 @@ func NewSender(loop *sim.Loop, cfg Config, out Output) (*Sender, error) {
 		mRackReorder:  cfg.Metrics.Counter("snd.rack.reorder_events"),
 		mReoWnd:       cfg.Metrics.Histogram("snd.rack.reo_wnd_s"),
 		mTLPProbes:    cfg.Metrics.Counter("snd.tlp.probes"),
+
+		mFECGroups:      cfg.Metrics.Counter("fec.groups_sent"),
+		mFECRepairs:     cfg.Metrics.Counter("fec.repairs_sent"),
+		mFECRepairBytes: cfg.Metrics.Counter("fec.repair_bytes_sent"),
+		mFECQueueDrops:  cfg.Metrics.Counter("fec.queue_drops"),
+		mFECRatio:       cfg.Metrics.Gauge("fec.redundancy_ratio"),
 	}
 	if cfg.Loss.Detector == DetectorRACK {
 		s.rack = newRackState(cfg.Loss)
@@ -373,6 +391,13 @@ func (s *Sender) trySend() {
 			s.sendNewSegment(now)
 		}
 	}
+	// 3. FEC repairs: seal tail groups of momentarily-dry streams, then
+	// flush the repair queue as lowest-priority fill (pacer-charged,
+	// cwnd-exempt) so redundancy never displaces fresh data.
+	if s.mux != nil && len(s.fecStreams) > 0 {
+		s.fecIdleSeal(now)
+		s.fecFlush(now)
+	}
 	s.armSendTimer()
 	s.armRTO()
 	s.armTLP()
@@ -490,6 +515,10 @@ func (s *Sender) sendStreamFrame(now sim.Time) {
 	if p.OldestPktSeq > s.advertisedOldest {
 		s.advertisedOldest = p.OldestPktSeq
 	}
+	// Fold the packet into its stream's repair group (no-op for
+	// unprotected streams); the tag must be on the wire packet so the
+	// receiver's decoder can key it.
+	s.fecCapture(now, p, &fr)
 	seg := &buffer.Segment{
 		Seq: s.nextSeq, Len: wire, PktSeq: s.nextPktSeq, SentAt: now,
 		HasStream: true, StreamID: fr.ID, StreamOff: fr.Off, StreamFIN: fr.FIN,
@@ -566,7 +595,7 @@ func (s *Sender) armSendTimer() {
 	if srtt <= 0 {
 		srtt = 100 * sim.Millisecond
 	}
-	pendingRetx := s.buf.HasMarked()
+	pendingRetx := s.buf.HasMarked() || len(s.fecQueue) > 0
 	next := s.nextChunk()
 	canNew := next > 0 && s.window() >= next
 	if !pendingRetx && !canNew {
@@ -698,6 +727,7 @@ func (s *Sender) OnPathMigration() {
 		s.tlpTimer.Stop()
 		s.rackTimer.Stop()
 	}
+	s.fecReset() // the new path's loss regime is unknown
 	if s.buf.Len() > 0 {
 		s.rtoTimer.ResetAfter(s.rto())
 	}
@@ -996,6 +1026,11 @@ func (s *Sender) onAck(p *packet.Packet) {
 		}
 	}
 	s.pacer.SetRate(now, s.ctrl.PacingRate())
+
+	// --- Adaptive FEC redundancy. ---
+	if len(s.fecStreams) > 0 {
+		s.fecOnAck(a)
+	}
 
 	// --- Flow control. ---
 	s.awnd = a.Window

@@ -426,6 +426,13 @@ type SenderStats struct {
 	SYNRetransmits int // SYNs re-sent under the handshake backoff schedule
 	RackMarked     int // segments marked lost by RACK time-based detection
 	TLPProbes      int // tail loss probes transmitted
+	// FEC accounting: repair groups opened, REPAIR packets and bytes
+	// actually transmitted, and repairs evicted from the fill queue
+	// before the pacer could flush them.
+	FECGroups      int
+	FECRepairsSent int
+	FECRepairBytes int64
+	FECQueueDrops  int
 	// AckBytesReceived is the wire size of every ack-bearing packet
 	// absorbed (SYNACK/TACK/IACK/FINACK): the sender-side half of the
 	// ACK-overhead-per-delivered-MB accounting.
@@ -446,6 +453,16 @@ type ReceiverStats struct {
 	// SYNACKRetransmits counts SYNACKs re-emitted for an embryo whose
 	// previous SYNACK (or the client's follow-up) apparently got lost.
 	SYNACKRetransmits int
+	// FEC accounting: repairs received, lost packets reconstructed (and
+	// their payload bytes), repairs consumed by a reconstruction, repairs
+	// that bought nothing (group complete or duplicate), and malformed or
+	// hostile FEC input dropped by the decoder.
+	FECRepairsReceived int
+	FECRecovered       int
+	FECRecoveredBytes  int64
+	FECRepairsUsed     int
+	FECRepairsWasted   int
+	FECDropped         int
 	// AckBytesSent is the wire size of every acknowledgment emitted
 	// (SYNACK/TACK/IACK/FINACK): the receiver-side half of the
 	// ACK-overhead-per-delivered-MB accounting.

@@ -27,6 +27,13 @@
 # change) and post-rebind delivery rate recovers to at least 50% of the
 # pre-rebind rate.
 #
+# Also emits BENCH_fec.json: the forward-error-correction A/B
+# (`tackbench fec`) — the Figure-11 deadline-driven video workload over
+# Gilbert–Elliott burst loss, ARQ-only vs the FEC stream class. Gates
+# the feature's reason to exist: the FEC arm must cut deadline-miss
+# events by at least 30% while spending under 20% of its bytes on
+# repair symbols.
+#
 # Also emits BENCH_swarm.json: the connection-scale swarm harness
 # (`tackbench swarm`) run twice — single-socket vs an SO_REUSEPORT
 # socket group — gating the multi-socket speedup on connection-setup
@@ -34,7 +41,7 @@
 # mean anything, so it auto-skips (writing {"skipped": true}) below 4
 # cores; override the detected core count with TACK_BENCH_CORES.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json] [swarm-output.json] [migration-output.json]
+# Usage: scripts/bench_smoke.sh [output.json] [stream-output.json] [obs-output.json] [rack-output.json] [swarm-output.json] [migration-output.json] [fec-output.json]
 set -euo pipefail
 
 out="${1:-BENCH_datapath.json}"
@@ -43,6 +50,7 @@ obs_out="${3:-BENCH_observability.json}"
 rack_out="${4:-BENCH_rack.json}"
 swarm_out="${5:-BENCH_swarm.json}"
 migration_out="${6:-BENCH_migration.json}"
+fec_out="${7:-BENCH_fec.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -163,6 +171,29 @@ then
     exit 1
 fi
 echo "migration bench OK: $migration_out"
+
+# FEC A/B gate: deterministic in-sim run pooling seeded video sessions
+# per arm. With a ~50 ms RTT and a ~100 ms render deadline a
+# retransmission cannot save a frame but an in-flight repair can, so
+# the deadline-miss event count isolates the repair path's value. The
+# FEC arm must cut events >= 30% at < 20% repair-byte overhead; less
+# means the encoder, the adaptive controller, or the recovery path
+# regressed.
+go run ./cmd/tackbench fec -json > "$fec_out"
+if ! python3 - "$fec_out" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+red, ovh = d["event_reduction"], d["byte_overhead"]
+print(f"fec bench: events {d['arq']['events']} (arq) -> {d['fec']['events']} (fec), "
+      f"reduction {red:.2f}, overhead {ovh:.3f}, "
+      f"recovered {d['fec']['recovered']}/{d['fec']['link_dropped']} dropped", file=sys.stderr)
+sys.exit(0 if (red >= 0.30 and ovh < 0.20 and d["fec"]["recovered"] > 0) else 1)
+EOF
+then
+    echo "fec bench FAILED: event reduction < 30% or overhead >= 20% (see $fec_out)" >&2
+    exit 1
+fi
+echo "fec bench OK: $fec_out"
 
 # Socket-group swarm gate: 2k connections with churn, single socket vs a
 # reuseport group, compared on setup rate and goodput. Speedup from the

@@ -31,6 +31,7 @@ import (
 	"github.com/tacktp/tack/internal/core"
 	"github.com/tacktp/tack/internal/debugserver"
 	"github.com/tacktp/tack/internal/endpoint"
+	"github.com/tacktp/tack/internal/fec"
 	"github.com/tacktp/tack/internal/stream"
 	"github.com/tacktp/tack/internal/telemetry"
 	"github.com/tacktp/tack/internal/transport"
@@ -111,12 +112,19 @@ type (
 	// buffer, and scheduler.
 	StreamConfig = stream.Config
 	// StreamOptions are per-stream scheduling knobs (priority, weight)
-	// passed to Conn.OpenStreamOptions.
+	// and the forward-error-correction opt-in, passed to
+	// Conn.OpenStreamOptions.
 	StreamOptions = stream.Options
 	// SendStream is the writable half of one multiplexed stream.
 	SendStream = stream.SendStream
 	// RecvStream is the readable half of one multiplexed stream.
 	RecvStream = stream.RecvStream
+	// FECOptions opts a stream into forward error correction
+	// (StreamOptions.FEC): scheme, group length, overhead cap, and the
+	// adaptive-redundancy switch. Validate() bounds-checks it.
+	FECOptions = fec.Options
+	// FECScheme names a repair code (FECSchemeXOR or FECSchemeRS).
+	FECScheme = fec.Scheme
 )
 
 // Scheduler names accepted by StreamConfig.Scheduler.
@@ -127,6 +135,17 @@ const (
 	SchedulerPriority = stream.SchedulerPriority
 	// SchedulerWeighted shares bandwidth by per-stream weight (DRR).
 	SchedulerWeighted = stream.SchedulerWeighted
+)
+
+// FEC schemes accepted by FECOptions.Scheme.
+const (
+	// FECSchemeXOR is the single-repair parity code: one XOR repair per
+	// group recovers any one lost packet. Cheapest; right for low,
+	// non-bursty loss.
+	FECSchemeXOR = fec.SchemeXOR
+	// FECSchemeRS is the Reed-Solomon-style GF(2^8) code: r repairs per
+	// group recover any r lost packets. Right for bursty loss.
+	FECSchemeRS = fec.SchemeRS
 )
 
 // Sentinel errors surfaced by stream operations.
